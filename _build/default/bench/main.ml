@@ -1,0 +1,372 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section (Tables III-VII) on the reconstructed benchmark suite, plus
+   bechamel microbenchmarks of the engine kernels and the ablations called
+   out in DESIGN.md.
+
+     dune exec bench/main.exe -- [table3|table4|table5|table6|table7|micro|all]
+
+   Default parameters are scaled for a laptop run: a subset of each
+   threshold sweep and one seed per configuration.  Set ALSRAC_BENCH_FULL=1
+   for the paper's full sweeps averaged over three seeds.  Every run is
+   deterministic given the seed set. *)
+
+module Graph = Aig.Graph
+module Metrics = Errest.Metrics
+
+let full_mode =
+  match Sys.getenv_opt "ALSRAC_BENCH_FULL" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let seeds = if full_mode then [ 1; 2; 3 ] else [ 1 ]
+
+let er_thresholds =
+  (* Paper: 0.1%, 0.3%, 0.5%, 0.8%, 1%, 3%, 5%. *)
+  if full_mode then [ 0.001; 0.003; 0.005; 0.008; 0.01; 0.03; 0.05 ]
+  else [ 0.001; 0.01; 0.05 ]
+
+let nmed_thresholds =
+  (* Paper: 0.00153% ... 0.19531% (eight doublings). *)
+  if full_mode then
+    [ 0.0000153; 0.0000305; 0.0000610; 0.0001221; 0.0002441; 0.0004883;
+      0.0009766; 0.0019531 ]
+  else [ 0.0000153; 0.0002441; 0.0019531 ]
+
+let eval_rounds = if full_mode then 8192 else 2048
+
+(* Per-run wall-clock budget in scaled mode; full mode runs to convergence
+   (the paper's own runtimes for the large Table VII circuits are hours).
+   ALSRAC_BENCH_BUDGET=<seconds> overrides the scaled-mode budget. *)
+let max_seconds =
+  if full_mode then infinity
+  else
+    match Sys.getenv_opt "ALSRAC_BENCH_BUDGET" with
+    | Some s -> (try float_of_string s with _ -> 150.0)
+    | None -> 150.0
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+let pct x = 100.0 *. x
+
+(* ---------- Method runners ----------
+
+   Each returns (approximate AIG, runtime seconds). *)
+
+let run_alsrac ~metric ~threshold ~seed g =
+  let config =
+    { (Core.Config.default ~metric ~threshold) with
+      Core.Config.eval_rounds; seed; max_seconds }
+  in
+  let approx, report = Core.Flow.run ~config g in
+  (approx, report.Core.Flow.runtime_s)
+
+let run_sasimi ~metric ~threshold ~seed g =
+  let config =
+    { (Baselines.Sasimi.default_config ~metric ~threshold) with
+      Baselines.Sasimi.eval_rounds; seed; max_seconds }
+  in
+  let approx, report = Baselines.Sasimi.run ~config g in
+  (approx, report.Baselines.Sasimi.runtime_s)
+
+let run_mcmc ~metric ~threshold ~seed g =
+  let config =
+    { (Baselines.Mcmc.default_config ~metric ~threshold) with
+      Baselines.Mcmc.eval_rounds; seed;
+      proposals = (if full_mode then 8000 else 3000) }
+  in
+  let approx, report = Baselines.Mcmc.run ~config g in
+  (approx, report.Baselines.Mcmc.runtime_s)
+
+(* ---------- Mapped quality ---------- *)
+
+type mapped_ratios = { area : float; delay : float }
+
+let asic_ratios ~original approx =
+  let m0 = Techmap.Cellmap.run original and m1 = Techmap.Cellmap.run approx in
+  {
+    area = Techmap.Mapped.area m1 /. Float.max 1.0 (Techmap.Mapped.area m0);
+    delay = Techmap.Mapped.delay m1 /. Float.max 0.001 (Techmap.Mapped.delay m0);
+  }
+
+let fpga_ratios ~original approx =
+  let m0 = Techmap.Lutmap.run original and m1 = Techmap.Lutmap.run approx in
+  {
+    area =
+      float_of_int (Techmap.Mapped.num_cells m1)
+      /. float_of_int (max 1 (Techmap.Mapped.num_cells m0));
+    delay =
+      float_of_int (Techmap.Mapped.depth m1)
+      /. float_of_int (max 1 (Techmap.Mapped.depth m0));
+  }
+
+(* Average a method over thresholds x seeds on one circuit.  The returned
+   flag marks sweeps in which at least one run hit the wall-clock budget
+   (reported with a '*' — full mode never truncates). *)
+let sweep ~runner ~ratios ~metric ~thresholds entry =
+  let g = (entry : Circuits.Suite.entry).Circuits.Suite.build () in
+  (* Both methods start from, and are measured against, the exactly
+     optimized circuit (the paper pre-optimizes its benchmarks with SIS). *)
+  let original = Aig.Resyn.compress2 (Graph.compact g) in
+  let g = original in
+  let areas = ref [] and delays = ref [] and times = ref [] in
+  let capped = ref false in
+  List.iter
+    (fun threshold ->
+      List.iter
+        (fun seed ->
+          let approx, rt = runner ~metric ~threshold ~seed g in
+          if rt >= max_seconds -. 1.0 then capped := true;
+          let r = ratios ~original approx in
+          areas := r.area :: !areas;
+          delays := r.delay :: !delays;
+          times := rt :: !times)
+        seeds)
+    thresholds;
+  (mean !areas, mean !delays, mean !times, !capped)
+
+(* ---------- Table III ---------- *)
+
+let table3 () =
+  Printf.printf
+    "\n== Table III: benchmark suite (reconstructed; see DESIGN.md section 2) ==\n";
+  Printf.printf "%-10s %-22s %6s %6s | %9s %7s | %6s %6s\n" "circuit" "class" "ands"
+    "depth" "cell-area" "delay" "LUT6" "Ldep";
+  List.iter
+    (fun (e : Circuits.Suite.entry) ->
+      let g = e.Circuits.Suite.build () in
+      let asic = Techmap.Cellmap.run g in
+      let fpga = Techmap.Lutmap.run g in
+      Printf.printf "%-10s %-22s %6d %6d | %9.1f %7.2f | %6d %6d\n%!"
+        e.Circuits.Suite.name
+        (Circuits.Suite.klass_to_string e.Circuits.Suite.klass)
+        (Graph.num_ands g) (Aig.Topo.depth g) (Techmap.Mapped.area asic)
+        (Techmap.Mapped.delay asic)
+        (Techmap.Mapped.num_cells fpga)
+        (Techmap.Mapped.depth fpga))
+    Circuits.Suite.all
+
+(* ---------- Tables IV / V: ALSRAC vs Su on ASIC ---------- *)
+
+let versus_table ~title ~paper_note ~entries ~metric ~thresholds ~ratios
+    ~baseline_name ~baseline =
+  Printf.printf "\n== %s ==\n(%s)\n" title paper_note;
+  Printf.printf "%-10s | %9s %9s | %9s %9s | %8s %8s\n" "circuit" "ALSRAC-a"
+    (baseline_name ^ "-a") "ALSRAC-d" (baseline_name ^ "-d") "t-ALS"
+    ("t-" ^ baseline_name);
+  let acc = ref [] in
+  List.iter
+    (fun entry ->
+      let a_area, a_delay, a_time, a_capped =
+        sweep ~runner:run_alsrac ~ratios ~metric ~thresholds entry
+      in
+      let b_area, b_delay, b_time, b_capped =
+        sweep ~runner:baseline ~ratios ~metric ~thresholds entry
+      in
+      acc := (a_area, b_area, a_delay, b_delay, a_time, b_time) :: !acc;
+      Printf.printf "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %6.1fs%s %6.1fs%s\n%!"
+        entry.Circuits.Suite.name (pct a_area) (pct b_area) (pct a_delay) (pct b_delay)
+        a_time (if a_capped then "*" else " ")
+        b_time (if b_capped then "*" else " "))
+    entries;
+  let col f = mean (List.map f !acc) in
+  Printf.printf "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %7.1fs %7.1fs\n" "arithmean"
+    (pct (col (fun (a, _, _, _, _, _) -> a)))
+    (pct (col (fun (_, b, _, _, _, _) -> b)))
+    (pct (col (fun (_, _, d, _, _, _) -> d)))
+    (pct (col (fun (_, _, _, e, _, _) -> e)))
+    (col (fun (_, _, _, _, t, _) -> t))
+    (col (fun (_, _, _, _, _, u) -> u));
+  Printf.printf "('*' = at least one run hit the %gs scaled-mode budget)\n"
+    max_seconds
+
+let table4 () =
+  versus_table
+    ~title:
+      "Table IV: ALSRAC vs Su's method under ER constraint (ASIC, MCNC-class cells)"
+    ~paper_note:
+      (Printf.sprintf
+         "area/delay ratios averaged over ER thresholds %s, %d seed(s); paper \
+          arithmeans: ALSRAC 80.11%% vs Su 87.45%% area"
+         (String.concat ", "
+            (List.map (fun t -> Printf.sprintf "%g%%" (pct t)) er_thresholds))
+         (List.length seeds))
+    ~entries:(Circuits.Suite.of_klass Circuits.Suite.Iscas_arith)
+    ~metric:Metrics.Er ~thresholds:er_thresholds ~ratios:asic_ratios
+    ~baseline_name:"Su" ~baseline:run_sasimi
+
+let table5 () =
+  let entries = List.filter_map Circuits.Suite.find Circuits.Suite.nmed_set in
+  versus_table
+    ~title:"Table V: ALSRAC vs Su's method under NMED constraint (ASIC)"
+    ~paper_note:
+      (Printf.sprintf
+         "ratios averaged over NMED thresholds %s, %d seed(s); paper arithmeans: \
+          ALSRAC 39.64%% vs Su 48.43%% area"
+         (String.concat ", "
+            (List.map (fun t -> Printf.sprintf "%.5f%%" (pct t)) nmed_thresholds))
+         (List.length seeds))
+    ~entries ~metric:Metrics.Nmed ~thresholds:nmed_thresholds ~ratios:asic_ratios
+    ~baseline_name:"Su" ~baseline:run_sasimi
+
+(* ---------- Tables VI / VII: ALSRAC vs Liu on FPGA ---------- *)
+
+let table6 () =
+  versus_table
+    ~title:"Table VI: ALSRAC vs Liu's method under ER = 1% (FPGA, 6-LUT)"
+    ~paper_note:
+      "EPFL random/control class; paper arithmeans: ALSRAC 74.30% vs Liu 80.25% LUTs"
+    ~entries:(Circuits.Suite.of_klass Circuits.Suite.Epfl_control)
+    ~metric:Metrics.Er ~thresholds:[ 0.01 ] ~ratios:fpga_ratios ~baseline_name:"Liu"
+    ~baseline:run_mcmc
+
+let table7 () =
+  let entries =
+    List.filter
+      (fun (e : Circuits.Suite.entry) -> e.Circuits.Suite.name <> "hyp")
+      (Circuits.Suite.of_klass Circuits.Suite.Epfl_arith)
+  in
+  versus_table
+    ~title:"Table VII: ALSRAC vs Liu's method under MRED = 0.19531% (FPGA, 6-LUT)"
+    ~paper_note:
+      "EPFL arithmetic class, hyp excluded exactly as in the paper; paper \
+       arithmeans (w/o max): ALSRAC 56.20% vs Liu 63.76% LUTs"
+    ~entries ~metric:Metrics.Mred ~thresholds:[ 0.0019531 ] ~ratios:fpga_ratios
+    ~baseline_name:"Liu" ~baseline:run_mcmc
+
+(* ---------- Bechamel microbenchmarks ---------- *)
+
+let micro () =
+  let open Bechamel in
+  Printf.printf "\n== Microbenchmarks (bechamel, monotonic clock) ==\n%!";
+  (* Shared fixtures, built once. *)
+  let mtp8 = Circuits.Multipliers.array_mult ~width:8 in
+  let rng = Logic.Rng.create 42 in
+  let pats2048 = Sim.Patterns.random rng ~npis:16 ~len:2048 in
+  let sigs = Sim.Engine.simulate mtp8 pats2048 in
+  let golden = Sim.Engine.po_values mtp8 sigs in
+  let cavlc = Circuits.Epfl_control.cavlc () in
+  let adder16 = Circuits.Adders.ripple_carry ~width:16 in
+  let tt10 = Logic.Truth.of_fun 10 (fun m -> (m * 2654435761) land 0x400 <> 0) in
+  let and_nodes =
+    let acc = ref [] in
+    Graph.iter_ands mtp8 (fun id -> acc := id :: !acc);
+    Array.of_list !acc
+  in
+  let mid_node = and_nodes.(Array.length and_nodes / 2) in
+  let tfo = Aig.Cone.tfo_mask mtp8 mid_node in
+  let flipped = Logic.Bitvec.lognot sigs.(mid_node) in
+  let care_cfg = Core.Config.default ~metric:Metrics.Er ~threshold:0.01 in
+  let tests =
+    [
+      (* One kernel per table: the dominant inner operation each table's
+         regeneration spends its time in. *)
+      Test.make ~name:"t3-kernel: cellmap mtp8"
+        (Staged.stage (fun () -> ignore (Techmap.Cellmap.run mtp8)));
+      Test.make ~name:"t4-kernel: LAC generation (N=32, mtp8)"
+        (Staged.stage (fun () ->
+             let pats = Sim.Patterns.random (Logic.Rng.create 7) ~npis:16 ~len:32 in
+             let s = Sim.Engine.simulate mtp8 pats in
+             ignore (Core.Lac.generate mtp8 ~config:care_cfg ~sigs:s ~rounds:32)));
+      Test.make ~name:"t5-kernel: batch error estimation (TFO resim, 2048 rounds)"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.Engine.resimulate_tfo mtp8 ~base:sigs ~tfo ~node:mid_node
+                  ~value:flipped)));
+      Test.make ~name:"t6-kernel: lutmap cavlc"
+        (Staged.stage (fun () -> ignore (Techmap.Lutmap.run cavlc)));
+      Test.make ~name:"t7-kernel: NMED measurement (2048 rounds)"
+        (Staged.stage (fun () -> ignore (Metrics.nmed ~golden ~approx:golden)));
+      (* Engine kernels. *)
+      Test.make ~name:"simulate mtp8 x2048 rounds"
+        (Staged.stage (fun () -> ignore (Sim.Engine.simulate mtp8 pats2048)));
+      Test.make ~name:"compress2 adder16"
+        (Staged.stage (fun () -> ignore (Aig.Resyn.compress2 adder16)));
+      Test.make ~name:"cut enumeration k=6 mtp8"
+        (Staged.stage (fun () -> ignore (Aig.Cut.enumerate mtp8 ~k:6 ())));
+      Test.make ~name:"isop 10-var table"
+        (Staged.stage (fun () ->
+             ignore (Logic.Isop.compute ~on:tt10 ~dc:(Logic.Truth.const0 10))));
+      Test.make ~name:"espresso 10-var table"
+        (Staged.stage (fun () ->
+             ignore (Logic.Espresso.minimize ~on:tt10 ~dc:(Logic.Truth.const0 10))));
+      (* Ablation: exact TFO re-simulation vs backward observability masks. *)
+      Test.make ~name:"ablation: observability masks (backward pass)"
+        (Staged.stage (fun () -> ignore (Errest.Observability.masks mtp8 ~sigs)));
+      Test.make ~name:"fraig-lite mtp8"
+        (Staged.stage (fun () -> ignore (Sim.Fraig.run mtp8)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-58s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-58s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+(* ---------- Ablation: ALSRAC design choices (DESIGN.md section 5) ---------- *)
+
+let ablations () =
+  Printf.printf "\n== Ablations (wal8, NMED <= 0.1%%) ==\n%!";
+  let g = Circuits.Multipliers.wallace ~width:8 in
+  let base = Core.Config.default ~metric:Metrics.Nmed ~threshold:0.001 in
+  let variants =
+    [
+      ("default (N=32, compress2)", base);
+      ("no inter-iteration resyn", { base with Core.Config.resyn = Core.Config.No_resyn });
+      ("light resyn only", { base with Core.Config.resyn = Core.Config.Light });
+      ("fixed small care set (N=8)", { base with Core.Config.sim_rounds = 8 });
+      ("large care set (N=256)", { base with Core.Config.sim_rounds = 256 });
+      ("L=4 LACs per node", { base with Core.Config.lac_limit = 4 });
+      ("ODC-aware care sets", { base with Core.Config.use_odc = true });
+      ("no depth guard", { base with Core.Config.max_depth_growth = infinity });
+    ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let config = { config with Core.Config.eval_rounds; seed = 1; max_seconds } in
+      let approx, report = Core.Flow.run ~config g in
+      let exact = Metrics.evaluate Metrics.Nmed ~original:g ~approx in
+      Printf.printf "%-28s ands %3d -> %3d (%.1f%%), NMED %.4f%%, %.1fs\n%!" name
+        report.Core.Flow.input_ands report.Core.Flow.output_ands
+        (pct
+           (float_of_int report.Core.Flow.output_ands
+           /. float_of_int report.Core.Flow.input_ands))
+        (pct exact) report.Core.Flow.runtime_s)
+    variants
+
+(* ---------- Driver ---------- *)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Sys.time () in
+  (match mode with
+  | "table3" -> table3 ()
+  | "table4" -> table4 ()
+  | "table5" -> table5 ()
+  | "table6" -> table6 ()
+  | "table7" -> table7 ()
+  | "micro" -> micro ()
+  | "ablations" -> ablations ()
+  | "all" ->
+      table3 ();
+      table4 ();
+      table5 ();
+      table6 ();
+      table7 ();
+      ablations ();
+      micro ()
+  | m ->
+      Printf.eprintf
+        "unknown mode %s (table3|table4|table5|table6|table7|ablations|micro|all)\n" m;
+      exit 1);
+  Printf.printf "\ntotal bench time: %.1fs%s\n" (Sys.time () -. t0)
+    (if full_mode then " (full mode)"
+     else " (scaled mode; ALSRAC_BENCH_FULL=1 for full sweeps)")

@@ -1,0 +1,297 @@
+(* ALSRAC command-line driver: benchmark generation, statistics, exact
+   optimization, approximate synthesis (ALSRAC / Su / MCMC), technology
+   mapping and error measurement. *)
+
+let ( let* ) = Result.bind
+
+(* ---------- Circuit loading / saving ---------- *)
+
+let load spec =
+  if Sys.file_exists spec then
+    if Filename.check_suffix spec ".blif" then Ok (Circuit_io.Blif.read spec)
+    else if Filename.check_suffix spec ".bench" then Ok (Circuit_io.Bench_fmt.read spec)
+    else if Filename.check_suffix spec ".aag" then Ok (Circuit_io.Aiger.read spec)
+    else Error (`Msg (Printf.sprintf "unknown circuit format: %s" spec))
+  else
+    match Circuits.Suite.find spec with
+    | Some e -> Ok (e.Circuits.Suite.build ())
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "%s is neither a file nor a known benchmark (try `alsrac list')" spec))
+
+let save path g =
+  if Filename.check_suffix path ".blif" then Ok (Circuit_io.Blif.write_graph path g)
+  else if Filename.check_suffix path ".bench" then
+    Ok (Circuit_io.Bench_fmt.write_graph path g)
+  else if Filename.check_suffix path ".aag" then Ok (Circuit_io.Aiger.write_graph path g)
+  else if Filename.check_suffix path ".v" then Ok (Circuit_io.Verilog.write_graph path g)
+  else if Filename.check_suffix path ".dot" then Ok (Circuit_io.Dot.write_graph path g)
+  else Error (`Msg (Printf.sprintf "unknown output format: %s" path))
+
+(* ---------- list ---------- *)
+
+let list_cmd () =
+  List.iter
+    (fun (e : Circuits.Suite.entry) ->
+      let g = e.Circuits.Suite.build () in
+      Printf.printf "%-10s %-22s pi=%4d po=%4d and=%6d depth=%4d  %s\n"
+        e.Circuits.Suite.name
+        (Circuits.Suite.klass_to_string e.Circuits.Suite.klass)
+        (Aig.Graph.num_pis g) (Aig.Graph.num_pos g) (Aig.Graph.num_ands g)
+        (Aig.Topo.depth g) e.Circuits.Suite.note)
+    Circuits.Suite.all;
+  Ok ()
+
+(* ---------- gen ---------- *)
+
+let gen_cmd name output =
+  let* g = load name in
+  save output g
+
+(* ---------- stats ---------- *)
+
+let stats_cmd spec mapping =
+  let* g = load spec in
+  Printf.printf "%s: pi=%d po=%d and=%d depth=%d\n" (Aig.Graph.name g)
+    (Aig.Graph.num_pis g) (Aig.Graph.num_pos g) (Aig.Graph.num_ands g)
+    (Aig.Topo.depth g);
+  (match mapping with
+  | `None -> ()
+  | `Asic ->
+      let m = Techmap.Cellmap.run g in
+      Printf.printf "asic: cells=%d area=%.1f delay=%.2f\n" (Techmap.Mapped.num_cells m)
+        (Techmap.Mapped.area m) (Techmap.Mapped.delay m)
+  | `Fpga ->
+      let m = Techmap.Lutmap.run g in
+      Printf.printf "fpga: luts=%d depth=%d\n" (Techmap.Mapped.num_cells m)
+        (Techmap.Mapped.depth m));
+  Ok ()
+
+(* ---------- opt ---------- *)
+
+let opt_cmd spec fraig output =
+  let* g = load spec in
+  let before = Aig.Graph.num_ands g in
+  let g' = Aig.Resyn.compress2 g in
+  let g' = if fraig then Aig.Resyn.compress2 (Sim.Fraig.run g') else g' in
+  Printf.printf "%s: %d -> %d ands (depth %d -> %d)\n"
+    (if fraig then "compress2+fraig" else "compress2")
+    before (Aig.Graph.num_ands g') (Aig.Topo.depth g) (Aig.Topo.depth g');
+  match output with Some path -> save path g' | None -> Ok ()
+
+(* ---------- eval ---------- *)
+
+let parse_metric m =
+  match Errest.Metrics.kind_of_string m with
+  | Some k -> Ok k
+  | None -> Error (`Msg (Printf.sprintf "unknown metric %s (er|nmed|mred)" m))
+
+let eval_cmd original approx metric sample =
+  let* metric = parse_metric metric in
+  let* g0 = load original in
+  let* g1 = load approx in
+  let e = Errest.Metrics.evaluate ~sample metric ~original:g0 ~approx:g1 in
+  Printf.printf "%s = %.6f%%\n" (Errest.Metrics.kind_to_string metric) (100.0 *. e);
+  Ok ()
+
+(* ---------- approx ---------- *)
+
+let approx_cmd spec metric threshold method_ seed eval_rounds mapping output =
+  let* metric = parse_metric metric in
+  let* g = load spec in
+  let original = Aig.Graph.compact g in
+  let t0 = Sys.time () in
+  let* approx =
+    match method_ with
+    | "alsrac" ->
+        let config =
+          { (Core.Config.default ~metric ~threshold) with
+            Core.Config.seed; eval_rounds }
+        in
+        let a, r = Core.Flow.run ~config g in
+        Printf.printf "alsrac: %d LACs applied, sampled %s = %.5f%%\n"
+          r.Core.Flow.applied
+          (Errest.Metrics.kind_to_string metric)
+          (100.0 *. r.Core.Flow.final_est_error);
+        Ok a
+    | "sasimi" | "su" ->
+        let config =
+          { (Baselines.Sasimi.default_config ~metric ~threshold) with
+            Baselines.Sasimi.seed; eval_rounds }
+        in
+        let a, r = Baselines.Sasimi.run ~config g in
+        Printf.printf "sasimi: %d substitutions, sampled %s = %.5f%%\n"
+          r.Baselines.Sasimi.applied
+          (Errest.Metrics.kind_to_string metric)
+          (100.0 *. r.Baselines.Sasimi.final_est_error);
+        Ok a
+    | "mcmc" | "liu" ->
+        let config =
+          { (Baselines.Mcmc.default_config ~metric ~threshold) with
+            Baselines.Mcmc.seed; eval_rounds }
+        in
+        let a, r = Baselines.Mcmc.run ~config g in
+        Printf.printf "mcmc: %d/%d proposals accepted, sampled %s = %.5f%%\n"
+          r.Baselines.Mcmc.accepted r.Baselines.Mcmc.proposals_tried
+          (Errest.Metrics.kind_to_string metric)
+          (100.0 *. r.Baselines.Mcmc.final_est_error);
+        Ok a
+    | m -> Error (`Msg (Printf.sprintf "unknown method %s (alsrac|sasimi|mcmc)" m))
+  in
+  let runtime = Sys.time () -. t0 in
+  Printf.printf "ands: %d -> %d (ratio %.2f%%), runtime %.1fs\n"
+    (Aig.Graph.num_ands original) (Aig.Graph.num_ands approx)
+    (100.0 *. float_of_int (Aig.Graph.num_ands approx)
+    /. float_of_int (max 1 (Aig.Graph.num_ands original)))
+    runtime;
+  let exact = Errest.Metrics.evaluate metric ~original ~approx in
+  Printf.printf "measured %s = %.5f%%\n" (Errest.Metrics.kind_to_string metric)
+    (100.0 *. exact);
+  (match mapping with
+  | `None -> ()
+  | `Asic ->
+      let m0 = Techmap.Cellmap.run original and m1 = Techmap.Cellmap.run approx in
+      Printf.printf "asic area ratio: %.2f%%  delay ratio: %.2f%%\n"
+        (100.0 *. Techmap.Mapped.area m1 /. Float.max 1.0 (Techmap.Mapped.area m0))
+        (100.0 *. Techmap.Mapped.delay m1 /. Float.max 0.001 (Techmap.Mapped.delay m0))
+  | `Fpga ->
+      let m0 = Techmap.Lutmap.run original and m1 = Techmap.Lutmap.run approx in
+      Printf.printf "fpga LUT ratio: %.2f%%  depth ratio: %.2f%%\n"
+        (100.0
+        *. float_of_int (Techmap.Mapped.num_cells m1)
+        /. float_of_int (max 1 (Techmap.Mapped.num_cells m0)))
+        (100.0
+        *. float_of_int (Techmap.Mapped.depth m1)
+        /. float_of_int (max 1 (Techmap.Mapped.depth m0))));
+  match output with Some path -> save path approx | None -> Ok ()
+
+(* ---------- map ---------- *)
+
+let map_cmd spec target output =
+  let* g = load spec in
+  let m =
+    match target with
+    | `Asic -> Techmap.Cellmap.run g
+    | `Fpga | `None -> Techmap.Lutmap.run g
+  in
+  Printf.printf "%s\n" (Format.asprintf "%a" Techmap.Mapped.pp_stats m);
+  match output with
+  | None -> Ok ()
+  | Some path ->
+      if Filename.check_suffix path ".blif" then Ok (Circuit_io.Blif.write_mapped path m)
+      else if Filename.check_suffix path ".v" then
+        Ok (Circuit_io.Verilog.write_mapped path m)
+      else Error (`Msg "mapped output must be .blif or .v")
+
+(* ---------- Cmdliner plumbing ---------- *)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+         ~doc:"Benchmark name (see $(b,alsrac list)) or a .blif/.bench/.aag file.")
+
+let output_opt =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the resulting circuit (.blif, .bench, .aag, .v, .dot).")
+
+let metric_arg =
+  Arg.(value & opt string "er" & info [ "m"; "metric" ] ~docv:"METRIC"
+         ~doc:"Error metric: er, nmed or mred.")
+
+let mapping_arg =
+  Arg.(value & opt (enum [ ("none", `None); ("asic", `Asic); ("fpga", `Fpga) ]) `None
+       & info [ "map" ] ~docv:"TARGET" ~doc:"Also report mapped results (asic or fpga).")
+
+let exits_of_result = function
+  | Ok () -> 0
+  | Error (`Msg m) ->
+      prerr_endline ("alsrac: " ^ m);
+      1
+
+let wrap f = Term.(const (fun x -> exits_of_result (f x)))
+
+let list_term = Term.(const (fun () -> exits_of_result (list_cmd ())) $ const ())
+let list_cmd' = Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite") list_term
+
+let gen_term =
+  Term.(
+    const (fun name output -> exits_of_result (gen_cmd name output))
+    $ circuit_arg
+    $ Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output file (.blif, .bench, .v, .dot)."))
+
+let gen_cmd' = Cmd.v (Cmd.info "gen" ~doc:"Emit a benchmark circuit to a file") gen_term
+
+let stats_term =
+  Term.(
+    const (fun spec mapping -> exits_of_result (stats_cmd spec mapping))
+    $ circuit_arg $ mapping_arg)
+
+let stats_cmd' = Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") stats_term
+
+let opt_term =
+  Term.(
+    const (fun spec fraig output -> exits_of_result (opt_cmd spec fraig output))
+    $ circuit_arg
+    $ Arg.(value & flag & info [ "fraig" ]
+             ~doc:"Also run simulation-guided exact equivalence merging.")
+    $ output_opt)
+
+let opt_cmd' =
+  Cmd.v (Cmd.info "opt" ~doc:"Exact logic optimization (compress2)") opt_term
+
+let eval_term =
+  Term.(
+    const (fun original approx metric sample ->
+        exits_of_result (eval_cmd original approx metric sample))
+    $ Arg.(required & pos 0 (some string) None & info [] ~docv:"ORIGINAL")
+    $ Arg.(required & pos 1 (some string) None & info [] ~docv:"APPROX")
+    $ metric_arg
+    $ Arg.(value & opt int (1 lsl 17) & info [ "sample" ] ~docv:"N"
+             ~doc:"Monte-Carlo rounds when exhaustive evaluation is infeasible."))
+
+let eval_cmd' =
+  Cmd.v (Cmd.info "eval" ~doc:"Measure the error between two circuits") eval_term
+
+let approx_term =
+  Term.(
+    const (fun spec metric threshold method_ seed eval_rounds mapping output ->
+        exits_of_result
+          (approx_cmd spec metric threshold method_ seed eval_rounds mapping output))
+    $ circuit_arg $ metric_arg
+    $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
+             ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
+    $ Arg.(value & opt string "alsrac" & info [ "method" ] ~docv:"M"
+             ~doc:"Synthesis method: alsrac, sasimi (Su's) or mcmc (Liu's).")
+    $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+    $ Arg.(value & opt int 4096 & info [ "eval-rounds" ] ~docv:"N"
+             ~doc:"Evaluation sample size during synthesis.")
+    $ mapping_arg $ output_opt)
+
+let approx_cmd' =
+  Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")
+    approx_term
+
+let map_term =
+  Term.(
+    const (fun spec target output -> exits_of_result (map_cmd spec target output))
+    $ circuit_arg $ mapping_arg $ output_opt)
+
+let map_cmd' = Cmd.v (Cmd.info "map" ~doc:"Technology mapping (LUT or standard cells)") map_term
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  ignore wrap;
+  let info =
+    Cmd.info "alsrac" ~version:"1.0.0"
+      ~doc:"Approximate logic synthesis by resubstitution with approximate care sets"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ list_cmd'; gen_cmd'; stats_cmd'; opt_cmd'; eval_cmd'; approx_cmd'; map_cmd' ]))

@@ -1,0 +1,1 @@
+examples/approx_adder.ml: Aig Circuits Core Errest Format List Printf Techmap

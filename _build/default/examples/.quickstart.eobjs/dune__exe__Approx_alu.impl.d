@@ -1,0 +1,1 @@
+examples/approx_alu.ml: Aig Baselines Circuits Core Errest Format Printf Techmap

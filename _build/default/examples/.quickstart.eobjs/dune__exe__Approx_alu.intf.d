@@ -1,0 +1,1 @@
+examples/approx_alu.mli:

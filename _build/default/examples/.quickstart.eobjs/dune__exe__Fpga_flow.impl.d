@@ -1,0 +1,1 @@
+examples/fpga_flow.ml: Aig Circuit_io Circuits Core Errest Filename List Printf Techmap

@@ -1,0 +1,1 @@
+examples/fpga_flow.mli:

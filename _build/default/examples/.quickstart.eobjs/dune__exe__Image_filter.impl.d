@@ -1,0 +1,1 @@
+examples/image_filter.ml: Aig Array Circuits Core Errest List Logic Printf Sim Techmap

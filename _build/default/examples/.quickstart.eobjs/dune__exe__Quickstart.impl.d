@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Array Bool Core Errest Format List Logic Printf Sim

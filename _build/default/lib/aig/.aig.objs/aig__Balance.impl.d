@@ -1,0 +1,1 @@
+lib/aig/balance.ml: Array Graph Hashtbl Int List Option Set Topo

@@ -1,0 +1,1 @@
+lib/aig/balance.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/builder.ml: Graph

@@ -1,0 +1,1 @@
+lib/aig/check.ml: Graph Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/aig/check.mli: Graph

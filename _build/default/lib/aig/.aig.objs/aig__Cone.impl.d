@@ -1,0 +1,1 @@
+lib/aig/cone.ml: Array Graph Hashtbl List Topo

@@ -1,0 +1,1 @@
+lib/aig/cone.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Array Graph Hashtbl List Logic

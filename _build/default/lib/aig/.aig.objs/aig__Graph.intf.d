@@ -1,0 +1,1 @@
+lib/aig/graph.mli: Format Logic

@@ -1,0 +1,1 @@
+lib/aig/refactor.ml: Array Cone Cut Graph Hashtbl List Logic Topo

@@ -1,0 +1,1 @@
+lib/aig/refactor.mli: Graph

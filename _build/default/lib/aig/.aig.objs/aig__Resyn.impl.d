@@ -1,0 +1,1 @@
+lib/aig/resyn.ml: Balance Graph Refactor Rewrite

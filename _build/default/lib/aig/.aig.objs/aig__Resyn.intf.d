@@ -1,0 +1,1 @@
+lib/aig/resyn.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/rewrite.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/topo.ml: Array Graph

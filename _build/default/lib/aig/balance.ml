@@ -1,0 +1,77 @@
+module IntSet = Set.Make (Int)
+
+let run g =
+  let fanouts = Topo.fanout_counts g in
+  let fresh = Graph.create ~name:(Graph.name g) () in
+  let mapping = Array.make (Graph.num_nodes g) (-1) in
+  mapping.(0) <- Graph.const0;
+  for i = 0 to Graph.num_pis g - 1 do
+    mapping.(Graph.pi_node g i) <- Graph.add_pi ~name:(Graph.pi_name g i) fresh
+  done;
+  (* Levels of the graph under construction, tracked incrementally. *)
+  let lev = Hashtbl.create 1024 in
+  let level_of l =
+    let id = Graph.node_of l in
+    if Graph.is_const id || Graph.is_pi fresh id then 0
+    else Option.value ~default:0 (Hashtbl.find_opt lev id)
+  in
+  let and_tracked a b =
+    let r = Graph.and_ fresh a b in
+    let id = Graph.node_of r in
+    if (not (Graph.is_const id)) && (not (Graph.is_pi fresh id)) && not (Hashtbl.mem lev id)
+    then Hashtbl.replace lev id (1 + max (level_of a) (level_of b));
+    r
+  in
+  (* Gather the operands of the maximal conjunction rooted at [l], stopping
+     at complemented edges, PIs and shared (multi-fanout) nodes to preserve
+     structural sharing. *)
+  let rec collect_leaves l acc =
+    let id = Graph.node_of l in
+    if (not (Graph.is_compl l)) && Graph.is_and g id && fanouts.(id) = 1 then
+      collect_leaves (Graph.fanin0 g id) (collect_leaves (Graph.fanin1 g id) acc)
+    else l :: acc
+  in
+  let rec copy_lit l = Graph.lit_not_cond (copy_node (Graph.node_of l)) (Graph.is_compl l)
+  and copy_node id =
+    if mapping.(id) >= 0 then mapping.(id)
+    else begin
+      (* Decompose the root unconditionally; [collect_leaves] only descends
+         through single-fanout conjuncts below it. *)
+      let leaves =
+        collect_leaves (Graph.fanin0 g id) (collect_leaves (Graph.fanin1 g id) [])
+      in
+      let new_lits = List.map copy_lit leaves in
+      let set = IntSet.remove Graph.const1 (IntSet.of_list new_lits) in
+      let contradictory =
+        IntSet.mem Graph.const0 set
+        || IntSet.exists (fun l -> IntSet.mem (Graph.lit_not l) set) set
+      in
+      let result =
+        if contradictory then Graph.const0
+        else begin
+          (* Huffman-style: repeatedly conjoin the two shallowest operands. *)
+          let sorted =
+            List.sort (fun a b -> compare (level_of a) (level_of b)) (IntSet.elements set)
+          in
+          let rec reduce = function
+            | [] -> Graph.const1
+            | [ x ] -> x
+            | a :: b :: rest ->
+                let c = and_tracked a b in
+                let rec insert = function
+                  | [] -> [ c ]
+                  | x :: xs when level_of x < level_of c -> x :: insert xs
+                  | xs -> c :: xs
+                in
+                reduce (insert rest)
+          in
+          reduce sorted
+        end
+      in
+      mapping.(id) <- result;
+      result
+    end
+  in
+  Graph.iter_pos g (fun i l ->
+      ignore (Graph.add_po ~name:(Graph.po_name g i) fresh (copy_lit l)));
+  fresh

@@ -1,0 +1,6 @@
+(** Depth-oriented AND-tree balancing (the [b] step of resyn2).
+
+    Maximal single-fanout conjunction trees are collected and rebuilt as
+    minimum-depth trees, combining lowest-level operands first. *)
+
+val run : Graph.t -> Graph.t

@@ -1,0 +1,41 @@
+let or_ g a b = Graph.lit_not (Graph.and_ g (Graph.lit_not a) (Graph.lit_not b))
+
+let nand g a b = Graph.lit_not (Graph.and_ g a b)
+
+let nor g a b = Graph.and_ g (Graph.lit_not a) (Graph.lit_not b)
+
+let xor g a b =
+  or_ g (Graph.and_ g a (Graph.lit_not b)) (Graph.and_ g (Graph.lit_not a) b)
+
+let xnor g a b = Graph.lit_not (xor g a b)
+
+let mux g ~sel ~t ~e =
+  or_ g (Graph.and_ g sel t) (Graph.and_ g (Graph.lit_not sel) e)
+
+let maj3 g a b c =
+  or_ g (Graph.and_ g a b) (or_ g (Graph.and_ g a c) (Graph.and_ g b c))
+
+let rec tree op neutral g = function
+  | [] -> neutral
+  | [ x ] -> x
+  | lits ->
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | a :: b :: rest -> op g a b :: pair rest
+      in
+      tree op neutral g (pair lits)
+
+let and_list g lits = tree Graph.and_ Graph.const1 g lits
+
+let or_list g lits = tree or_ Graph.const0 g lits
+
+let xor_list g lits = tree xor Graph.const0 g lits
+
+let full_adder g a b cin =
+  let axb = xor g a b in
+  let sum = xor g axb cin in
+  let carry = or_ g (Graph.and_ g a b) (Graph.and_ g axb cin) in
+  (sum, carry)
+
+let half_adder g a b = (xor g a b, Graph.and_ g a b)

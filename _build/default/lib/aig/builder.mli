@@ -1,0 +1,24 @@
+(** Gate-level construction helpers on top of {!Graph.and_}. *)
+
+val or_ : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit
+val nand : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit
+val nor : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit
+val xor : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit
+val xnor : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit
+
+val mux : Graph.t -> sel:Graph.lit -> t:Graph.lit -> e:Graph.lit -> Graph.lit
+(** [mux ~sel ~t ~e] is [if sel then t else e]. *)
+
+val maj3 : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit -> Graph.lit
+
+val and_list : Graph.t -> Graph.lit list -> Graph.lit
+(** Balanced conjunction ([const1] on the empty list). *)
+
+val or_list : Graph.t -> Graph.lit list -> Graph.lit
+val xor_list : Graph.t -> Graph.lit list -> Graph.lit
+
+val full_adder :
+  Graph.t -> Graph.lit -> Graph.lit -> Graph.lit -> Graph.lit * Graph.lit
+(** [full_adder g a b cin] is [(sum, carry_out)]. *)
+
+val half_adder : Graph.t -> Graph.lit -> Graph.lit -> Graph.lit * Graph.lit

@@ -1,0 +1,27 @@
+let check g =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let seen = Hashtbl.create 256 in
+    Graph.iter_ands g (fun id ->
+        let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+        if Graph.node_of f0 >= id || Graph.node_of f1 >= id then
+          fail "node %d: fanin does not precede it" id;
+        if f0 > f1 then fail "node %d: fanins not normalized" id;
+        if Graph.node_of f0 = 0 then fail "node %d: constant fanin survived folding" id;
+        if Graph.node_of f0 = Graph.node_of f1 then
+          fail "node %d: trivial fanin pair survived folding" id;
+        if Hashtbl.mem seen (f0, f1) then fail "node %d: duplicate strash pair" id;
+        Hashtbl.replace seen (f0, f1) id);
+    Graph.iter_pos g (fun i l ->
+        if Graph.node_of l < 0 || Graph.node_of l >= Graph.num_nodes g then
+          fail "PO %d: literal out of range" i);
+    for i = 0 to Graph.num_pis g - 1 do
+      let id = Graph.pi_node g i in
+      if not (Graph.is_pi g id) then fail "PI %d: node %d is not an input" i id;
+      if Graph.pi_index g id <> i then fail "PI %d: inconsistent reverse index" i
+    done;
+    Ok ()
+  with Bad msg -> Error msg
+
+let check_exn g = match check g with Ok () -> () | Error msg -> failwith msg

@@ -1,0 +1,10 @@
+(** Structural invariant checking, used by the test-suite and after complex
+    transforms in debug runs. *)
+
+val check : Graph.t -> (unit, string) result
+(** Verifies: fanins precede their node (acyclicity), no constant or trivial
+    fanin survives folding, normalized fanin order, no duplicated strash
+    pairs, PO literals in range, and PI bookkeeping consistency. *)
+
+val check_exn : Graph.t -> unit
+(** Raises [Failure] with the first violated invariant. *)

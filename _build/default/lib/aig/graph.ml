@@ -1,0 +1,236 @@
+type lit = int
+
+let const0 = 0
+let const1 = 1
+
+let make_lit id compl = (id * 2) + if compl then 1 else 0
+let node_of l = l lsr 1
+let is_compl l = l land 1 = 1
+let lit_not l = l lxor 1
+let lit_not_cond l c = if c then l lxor 1 else l
+let lit_regular l = l land lnot 1
+
+(* Fanin sentinel distinguishing PIs from ANDs. *)
+let pi_sentinel = -1
+
+type t = {
+  mutable graph_name : string;
+  mutable fanin0 : int array;
+  mutable fanin1 : int array;
+  mutable nnodes : int;
+  mutable pis : int array;
+  mutable npis : int;
+  mutable pi_names : string array;
+  mutable pos : int array;
+  mutable npos : int;
+  mutable po_names : string array;
+  strash : (int * int, int) Hashtbl.t;
+  mutable pi_pos : int array; (* node id -> PI index, -1 otherwise *)
+}
+
+let create ?(name = "aig") () =
+  let cap = 64 in
+  let g =
+    {
+      graph_name = name;
+      fanin0 = Array.make cap pi_sentinel;
+      fanin1 = Array.make cap pi_sentinel;
+      nnodes = 1;
+      pis = Array.make 8 0;
+      npis = 0;
+      pi_names = Array.make 8 "";
+      pos = Array.make 8 0;
+      npos = 0;
+      po_names = Array.make 8 "";
+      strash = Hashtbl.create 1024;
+      pi_pos = Array.make cap (-1);
+    }
+  in
+  (* Node 0 is the constant; mark it as a non-AND. *)
+  g.fanin0.(0) <- pi_sentinel;
+  g.fanin1.(0) <- pi_sentinel;
+  g
+
+let name g = g.graph_name
+let set_name g n = g.graph_name <- n
+
+let grow_int arr len fill =
+  if len < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max (2 * Array.length arr) (len + 1)) fill in
+    Array.blit arr 0 arr' 0 (Array.length arr);
+    arr'
+  end
+
+let grow_str arr len =
+  if len < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max (2 * Array.length arr) (len + 1)) "" in
+    Array.blit arr 0 arr' 0 (Array.length arr);
+    arr'
+  end
+
+let new_node g f0 f1 =
+  let id = g.nnodes in
+  g.fanin0 <- grow_int g.fanin0 id pi_sentinel;
+  g.fanin1 <- grow_int g.fanin1 id pi_sentinel;
+  g.pi_pos <- grow_int g.pi_pos id (-1);
+  g.fanin0.(id) <- f0;
+  g.fanin1.(id) <- f1;
+  g.pi_pos.(id) <- -1;
+  g.nnodes <- id + 1;
+  id
+
+let add_pi ?name g =
+  let id = new_node g pi_sentinel pi_sentinel in
+  let idx = g.npis in
+  g.pis <- grow_int g.pis idx 0;
+  g.pi_names <- grow_str g.pi_names idx;
+  g.pis.(idx) <- id;
+  g.pi_names.(idx) <- (match name with Some n -> n | None -> Printf.sprintf "x%d" idx);
+  g.npis <- idx + 1;
+  g.pi_pos.(id) <- idx;
+  make_lit id false
+
+let and_ g a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const0 then const0
+  else if a = const1 then b
+  else if a = b then a
+  else if a = lit_not b then const0
+  else
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some id -> make_lit id false
+    | None ->
+        let id = new_node g a b in
+        Hashtbl.add g.strash (a, b) id;
+        make_lit id false
+
+let add_po ?name g l =
+  let idx = g.npos in
+  g.pos <- grow_int g.pos idx 0;
+  g.po_names <- grow_str g.po_names idx;
+  g.pos.(idx) <- l;
+  g.po_names.(idx) <- (match name with Some n -> n | None -> Printf.sprintf "y%d" idx);
+  g.npos <- idx + 1;
+  idx
+
+let set_po g i l =
+  if i < 0 || i >= g.npos then invalid_arg "Graph.set_po: index out of range";
+  g.pos.(i) <- l
+
+let num_nodes g = g.nnodes
+let num_pis g = g.npis
+let num_pos g = g.npos
+let num_ands g = g.nnodes - 1 - g.npis
+
+let check_node g id =
+  if id < 0 || id >= g.nnodes then invalid_arg "Graph: node id out of range"
+
+let pi_node g i =
+  if i < 0 || i >= g.npis then invalid_arg "Graph.pi_node: index out of range";
+  g.pis.(i)
+
+let pi_lit g i = make_lit (pi_node g i) false
+
+let po_lit g i =
+  if i < 0 || i >= g.npos then invalid_arg "Graph.po_lit: index out of range";
+  g.pos.(i)
+
+let pi_name g i =
+  if i < 0 || i >= g.npis then invalid_arg "Graph.pi_name: index out of range";
+  g.pi_names.(i)
+
+let po_name g i =
+  if i < 0 || i >= g.npos then invalid_arg "Graph.po_name: index out of range";
+  g.po_names.(i)
+
+let pi_index g id =
+  check_node g id;
+  g.pi_pos.(id)
+
+let is_const id = id = 0
+
+let is_pi g id =
+  check_node g id;
+  id <> 0 && g.fanin0.(id) = pi_sentinel
+
+let is_and g id =
+  check_node g id;
+  g.fanin0.(id) <> pi_sentinel
+
+let fanin0 g id =
+  check_node g id;
+  if g.fanin0.(id) = pi_sentinel then invalid_arg "Graph.fanin0: not an AND node";
+  g.fanin0.(id)
+
+let fanin1 g id =
+  check_node g id;
+  if g.fanin1.(id) = pi_sentinel then invalid_arg "Graph.fanin1: not an AND node";
+  g.fanin1.(id)
+
+let iter_ands g f =
+  for id = 1 to g.nnodes - 1 do
+    if g.fanin0.(id) <> pi_sentinel then f id
+  done
+
+let iter_pos g f =
+  for i = 0 to g.npos - 1 do
+    f i g.pos.(i)
+  done
+
+type replacement =
+  | Replace_lit of lit
+  | Replace_expr of Logic.Factor.expr * int array
+
+let rec build_expr g expr leaves =
+  match expr with
+  | Logic.Factor.Const b -> if b then const1 else const0
+  | Logic.Factor.Lit (v, phase) ->
+      if v < 0 || v >= Array.length leaves then invalid_arg "Graph.build_expr: leaf out of range";
+      lit_not_cond leaves.(v) (not phase)
+  | Logic.Factor.And es ->
+      List.fold_left (fun acc e -> and_ g acc (build_expr g e leaves)) const1 es
+  | Logic.Factor.Or es ->
+      (* De Morgan: OR = NOT (AND of NOTs). *)
+      lit_not
+        (List.fold_left
+           (fun acc e -> and_ g acc (lit_not (build_expr g e leaves)))
+           const1 es)
+
+let rebuild ?replace g =
+  let fresh = create ~name:g.graph_name () in
+  (* Map old node id -> new literal; -2 = unvisited, -3 = in progress. *)
+  let mapping = Array.make g.nnodes (-2) in
+  mapping.(0) <- const0;
+  for i = 0 to g.npis - 1 do
+    let l = add_pi ~name:g.pi_names.(i) fresh in
+    mapping.(g.pis.(i)) <- l
+  done;
+  let rec copy_lit l = lit_not_cond (copy_node (node_of l)) (is_compl l)
+  and copy_node id =
+    match mapping.(id) with
+    | -3 -> failwith "Graph.rebuild: substitution creates a combinational cycle"
+    | -2 ->
+        mapping.(id) <- -3;
+        let result =
+          match (match replace with Some r -> r id | None -> None) with
+          | Some (Replace_lit l) -> copy_lit l
+          | Some (Replace_expr (expr, leaves)) ->
+              let leaf_lits = Array.map (fun leaf -> copy_lit (make_lit leaf false)) leaves in
+              build_expr fresh expr leaf_lits
+          | None -> and_ fresh (copy_lit g.fanin0.(id)) (copy_lit g.fanin1.(id))
+        in
+        mapping.(id) <- result;
+        result
+    | l -> l
+  in
+  for i = 0 to g.npos - 1 do
+    ignore (add_po ~name:g.po_names.(i) fresh (copy_lit g.pos.(i)))
+  done;
+  fresh
+
+let compact g = rebuild g
+
+let pp_stats ppf g =
+  Format.fprintf ppf "%s: pi=%d po=%d and=%d" g.graph_name g.npis g.npos (num_ands g)

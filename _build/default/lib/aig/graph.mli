@@ -1,0 +1,108 @@
+(** Structurally hashed AND-Inverter Graphs.
+
+    An AIG node is the constant (node 0), a primary input, or a two-input AND
+    gate.  Edges are literals: [2 * node_id + complement_bit], so inversion is
+    free.  Nodes are append-only and every AND's fanins precede it, which
+    makes ascending node-id order a topological order.
+
+    Graphs are mutated only by appending ([add_pi], [and_], [add_po],
+    [set_po]); all restructuring transforms go through {!rebuild}, which
+    walks an old graph from its outputs and produces a fresh graph — dead
+    logic vanishes and acyclicity holds by construction. *)
+
+type t
+
+type lit = int
+(** Literal: [2 * id + phase]. [0] is constant false, [1] constant true. *)
+
+val const0 : lit
+val const1 : lit
+
+(** {1 Literals} *)
+
+val make_lit : int -> bool -> lit
+(** [make_lit id compl]. *)
+
+val node_of : lit -> int
+val is_compl : lit -> bool
+val lit_not : lit -> lit
+val lit_not_cond : lit -> bool -> lit
+val lit_regular : lit -> lit
+(** Strip the complement bit. *)
+
+(** {1 Construction} *)
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+val set_name : t -> string -> unit
+
+val add_pi : ?name:string -> t -> lit
+(** Append a primary input; returns its (positive) literal. *)
+
+val and_ : t -> lit -> lit -> lit
+(** Strashed AND with constant folding and the trivial-rule simplifications
+    (idempotence, complement annihilation). *)
+
+val add_po : ?name:string -> t -> lit -> int
+(** Append a primary output driven by the literal; returns its index. *)
+
+val set_po : t -> int -> lit -> unit
+
+(** {1 Access} *)
+
+val num_nodes : t -> int
+(** Including the constant node and the PIs. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+
+val num_ands : t -> int
+(** The AIG size measure used throughout (area proxy before mapping). *)
+
+val pi_node : t -> int -> int
+(** Node id of the [i]-th input. *)
+
+val pi_lit : t -> int -> lit
+val po_lit : t -> int -> lit
+val pi_name : t -> int -> string
+val po_name : t -> int -> string
+val pi_index : t -> int -> int
+(** PI position of a node id, or [-1] if the node is not a PI. *)
+
+val fanin0 : t -> int -> lit
+(** Fanins of an AND node.  Raises for PIs and the constant. *)
+
+val fanin1 : t -> int -> lit
+
+val is_const : int -> bool
+val is_pi : t -> int -> bool
+val is_and : t -> int -> bool
+
+val iter_ands : t -> (int -> unit) -> unit
+(** Visit every AND node id in topological (ascending) order. *)
+
+val iter_pos : t -> (int -> lit -> unit) -> unit
+
+(** {1 Restructuring} *)
+
+type replacement =
+  | Replace_lit of lit
+      (** Substitute the node by an existing literal of the same graph. *)
+  | Replace_expr of Logic.Factor.expr * int array
+      (** Substitute by an expression over leaf node ids of the same graph. *)
+
+val rebuild : ?replace:(int -> replacement option) -> t -> t
+(** Copy the graph from its POs, applying substitutions on the way.  PIs are
+    preserved in order (even if dangling); unreachable logic is dropped;
+    structural hashing re-merges shared logic.  Raises [Failure] if a
+    substitution introduces a combinational cycle. *)
+
+val compact : t -> t
+(** [rebuild] without substitutions: dead-node elimination + re-strashing. *)
+
+val build_expr : t -> Logic.Factor.expr -> lit array -> lit
+(** Instantiate a factored expression; [leaves.(i)] is the literal standing
+    for expression variable [i]. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let run ?(max_inputs = 10) g =
+  let fanouts = Topo.fanout_counts g in
+  let n = Graph.num_nodes g in
+  let choices : (int, Graph.replacement) Hashtbl.t = Hashtbl.create 64 in
+  let covered = Array.make n false in
+  for id = n - 1 downto 1 do
+    if Graph.is_and g id && not covered.(id) then begin
+      let mffc = Cone.mffc g ~fanouts id in
+      let mffc_size = List.length mffc in
+      if mffc_size >= 2 then begin
+        let inputs = Cone.cone_inputs g mffc in
+        if List.length inputs <= max_inputs then begin
+          let leaves = Array.of_list inputs in
+          let tt = Cut.truth g ~root:id ~leaves in
+          let dc = Logic.Truth.const0 (Array.length leaves) in
+          let isop = Logic.Isop.compute ~on:tt ~dc in
+          (* XOR-dominated cones explode in two-level form; the factored
+             realization cannot win there, so skip the expensive loop. *)
+          if Logic.Cover.num_cubes isop <= 24 then begin
+            let cover = Logic.Espresso.minimize ~on:tt ~dc in
+            let expr = Logic.Factor.of_cover cover in
+            if Logic.Factor.and2_cost expr < mffc_size then begin
+              Hashtbl.replace choices id (Graph.Replace_expr (expr, leaves));
+              List.iter (fun m -> covered.(m) <- true) mffc
+            end
+          end
+        end
+      end
+    end
+  done;
+  if Hashtbl.length choices = 0 then g
+  else begin
+    let rebuilt = Graph.rebuild ~replace:(Hashtbl.find_opt choices) g in
+    if Graph.num_ands rebuilt < Graph.num_ands g then rebuilt else g
+  end

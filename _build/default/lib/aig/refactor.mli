@@ -1,0 +1,10 @@
+(** MFFC-based refactoring (the [rf] step of resyn2).
+
+    Each maximum fanout-free cone with few enough inputs is collapsed to a
+    truth table, minimized with Espresso, algebraically factored, and the
+    factored form replaces the cone when it needs fewer AND gates.  The
+    transform never increases the AND count: the rebuilt graph is returned
+    only when smaller. *)
+
+val run : ?max_inputs:int -> Graph.t -> Graph.t
+(** Default [max_inputs] is 10. *)

@@ -1,0 +1,16 @@
+let keep_smaller ~candidate ~current =
+  if Graph.num_ands candidate <= Graph.num_ands current then candidate else current
+
+let light g =
+  let swept = Graph.compact g in
+  keep_smaller ~candidate:(Balance.run swept) ~current:swept
+
+let compress2 g =
+  let g0 = Graph.compact g in
+  let g1 = keep_smaller ~candidate:(Balance.run g0) ~current:g0 in
+  let g2 = Rewrite.run g1 in
+  let g3 = Refactor.run g2 in
+  let g4 = keep_smaller ~candidate:(Balance.run g3) ~current:g3 in
+  let g5 = Rewrite.run g4 in
+  let g6 = Graph.compact g5 in
+  keep_smaller ~candidate:g6 ~current:g0

@@ -1,0 +1,9 @@
+(** Traditional logic-optimization pipelines (the "sweep; resyn2" substitute
+    used between approximation steps, cf. Algorithm 3 line 9). *)
+
+val light : Graph.t -> Graph.t
+(** Sweep (dead-node removal + re-strashing) and balance. *)
+
+val compress2 : Graph.t -> Graph.t
+(** The full pipeline: sweep, balance, rewrite, refactor, balance, rewrite,
+    sweep — monotone in AND count (never returns a larger graph). *)

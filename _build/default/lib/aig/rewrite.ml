@@ -1,0 +1,63 @@
+(* Nodes of the cut cone of [root] above the leaves. *)
+let cone_nodes g root leaves =
+  let leaf_set = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace leaf_set l ()) leaves;
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if (not (Hashtbl.mem leaf_set id)) && not (Hashtbl.mem seen id) then
+      if Graph.is_and g id then begin
+        Hashtbl.replace seen id ();
+        visit (Graph.node_of (Graph.fanin0 g id));
+        visit (Graph.node_of (Graph.fanin1 g id))
+      end
+  in
+  visit root;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen []
+
+let run ?(k = 4) g =
+  let cuts = Cut.enumerate g ~k () in
+  let fanouts = Topo.fanout_counts g in
+  let n = Graph.num_nodes g in
+  let choices : (int, Graph.replacement) Hashtbl.t = Hashtbl.create 64 in
+  let covered = Array.make n false in
+  for id = n - 1 downto 1 do
+    if Graph.is_and g id && not covered.(id) then begin
+      let mffc = Cone.mffc g ~fanouts id in
+      let in_mffc = Hashtbl.create 16 in
+      List.iter (fun m -> Hashtbl.replace in_mffc m ()) mffc;
+      let best = ref None in
+      List.iter
+        (fun cut ->
+          let sz = Cut.size cut in
+          if sz >= 2 && not (Array.exists (fun l -> l = id) cut.Cut.leaves) then begin
+            let cone = cone_nodes g id cut.Cut.leaves in
+            (* Gates guaranteed freed: cone nodes that are also in the MFFC. *)
+            let saved = List.length (List.filter (Hashtbl.mem in_mffc) cone) in
+            if saved >= 2 then begin
+              let tt = Cut.truth g ~root:id ~leaves:cut.Cut.leaves in
+              let dc = Logic.Truth.const0 sz in
+              let cover = Logic.Espresso.minimize ~on:tt ~dc in
+              let expr = Logic.Factor.of_cover cover in
+              let cost = Logic.Factor.and2_cost expr in
+              let gain = saved - cost in
+              let better =
+                match !best with None -> gain > 0 | Some (g0, _, _) -> gain > g0
+              in
+              if better then best := Some (gain, expr, (cut.Cut.leaves, cone))
+            end
+          end)
+        cuts.(id);
+      match !best with
+      | Some (_, expr, (leaves, cone)) ->
+          Hashtbl.replace choices id (Graph.Replace_expr (expr, leaves));
+          List.iter
+            (fun m -> if Hashtbl.mem in_mffc m then covered.(m) <- true)
+            cone
+      | None -> ()
+    end
+  done;
+  if Hashtbl.length choices = 0 then g
+  else begin
+    let rebuilt = Graph.rebuild ~replace:(Hashtbl.find_opt choices) g in
+    if Graph.num_ands rebuilt < Graph.num_ands g then rebuilt else g
+  end

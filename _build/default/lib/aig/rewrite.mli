@@ -1,0 +1,10 @@
+(** Cut-based local rewriting (the [rw] step of resyn2).
+
+    For every AND node, 4-input cuts are enumerated; the node's cut function
+    is re-synthesized as a minimized factored form, and the replacement is
+    selected when it costs fewer gates than the logic it exclusively owns
+    (MFFC restricted to the cut cone).  The rebuilt graph is returned only
+    when strictly smaller. *)
+
+val run : ?k:int -> Graph.t -> Graph.t
+(** Default cut width [k] is 4. *)

@@ -1,0 +1,41 @@
+let levels g =
+  let n = Graph.num_nodes g in
+  let lev = Array.make n 0 in
+  Graph.iter_ands g (fun id ->
+      let l0 = lev.(Graph.node_of (Graph.fanin0 g id)) in
+      let l1 = lev.(Graph.node_of (Graph.fanin1 g id)) in
+      lev.(id) <- 1 + max l0 l1);
+  lev
+
+let depth g =
+  let lev = levels g in
+  let d = ref 0 in
+  Graph.iter_pos g (fun _ l -> d := max !d lev.(Graph.node_of l));
+  !d
+
+let fanout_counts g =
+  let n = Graph.num_nodes g in
+  let counts = Array.make n 0 in
+  let bump l = counts.(Graph.node_of l) <- counts.(Graph.node_of l) + 1 in
+  Graph.iter_ands g (fun id ->
+      bump (Graph.fanin0 g id);
+      bump (Graph.fanin1 g id));
+  Graph.iter_pos g (fun _ l -> bump l);
+  counts
+
+let node_count_in_use g =
+  let n = Graph.num_nodes g in
+  let reachable = Array.make n false in
+  let rec mark id =
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      if Graph.is_and g id then begin
+        mark (Graph.node_of (Graph.fanin0 g id));
+        mark (Graph.node_of (Graph.fanin1 g id))
+      end
+    end
+  in
+  Graph.iter_pos g (fun _ l -> mark (Graph.node_of l));
+  let count = ref 0 in
+  Graph.iter_ands g (fun id -> if reachable.(id) then incr count);
+  !count

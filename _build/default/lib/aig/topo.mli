@@ -1,0 +1,13 @@
+(** Structural measurements over an AIG: levels, depth, fanout counts. *)
+
+val levels : Graph.t -> int array
+(** Per node id: logic level (constant and PIs at 0, AND = 1 + max fanin). *)
+
+val depth : Graph.t -> int
+(** Maximum level over the PO drivers (0 for constant / wire-only graphs). *)
+
+val fanout_counts : Graph.t -> int array
+(** Per node id: number of fanout references (AND fanins + PO drivers). *)
+
+val node_count_in_use : Graph.t -> int
+(** Number of AND nodes reachable from the POs. *)

@@ -1,0 +1,1 @@
+lib/baselines/mcmc.ml: Aig Array Errest Logic Sim Sys

@@ -1,0 +1,1 @@
+lib/baselines/mcmc.mli: Aig Errest

@@ -1,0 +1,1 @@
+lib/baselines/sasimi.ml: Aig Array Core Errest List Logic Sim Sys

@@ -1,0 +1,1 @@
+lib/baselines/sasimi.mli: Aig Core Errest

@@ -1,0 +1,1 @@
+lib/circuits/adders.ml: Aig Array Printf Word

@@ -1,0 +1,1 @@
+lib/circuits/adders.mli: Aig

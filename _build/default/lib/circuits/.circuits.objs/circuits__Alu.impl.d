@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Aig Array List Logic Printf Sim Word

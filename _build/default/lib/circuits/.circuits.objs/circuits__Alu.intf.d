@@ -1,0 +1,1 @@
+lib/circuits/alu.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/dsp.ml: Aig Array Encode List Multipliers Printf Word

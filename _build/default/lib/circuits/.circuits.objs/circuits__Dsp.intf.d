@@ -1,0 +1,1 @@
+lib/circuits/dsp.mli: Aig Word

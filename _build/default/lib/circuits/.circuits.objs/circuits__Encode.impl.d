@@ -1,0 +1,1 @@
+lib/circuits/encode.ml: Aig Array List

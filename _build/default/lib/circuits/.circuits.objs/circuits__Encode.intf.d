@@ -1,0 +1,1 @@
+lib/circuits/encode.mli: Aig Word

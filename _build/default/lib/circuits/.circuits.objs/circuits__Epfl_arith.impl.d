@@ -1,0 +1,1 @@
+lib/circuits/epfl_arith.ml: Aig Array Char Encode Multipliers Printf Word

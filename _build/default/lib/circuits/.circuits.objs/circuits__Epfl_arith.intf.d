@@ -1,0 +1,1 @@
+lib/circuits/epfl_arith.mli: Aig Word

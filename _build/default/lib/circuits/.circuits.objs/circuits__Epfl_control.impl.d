@@ -1,0 +1,1 @@
+lib/circuits/epfl_control.ml: Aig Array Encode List Logic Printf Word

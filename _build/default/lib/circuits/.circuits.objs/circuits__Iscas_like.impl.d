@@ -1,0 +1,1 @@
+lib/circuits/iscas_like.ml: Aig Alu Array List Word

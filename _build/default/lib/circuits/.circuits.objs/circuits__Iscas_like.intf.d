@@ -1,0 +1,1 @@
+lib/circuits/iscas_like.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/multipliers.ml: Aig Array List Printf Word

@@ -1,0 +1,1 @@
+lib/circuits/multipliers.mli: Aig Word

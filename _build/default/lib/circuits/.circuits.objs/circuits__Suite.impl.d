@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Adders Aig Alu Epfl_arith Epfl_control Iscas_like List Multipliers

@@ -1,0 +1,1 @@
+lib/circuits/word.ml: Aig Array Printf

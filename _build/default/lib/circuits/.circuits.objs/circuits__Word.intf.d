@@ -1,0 +1,1 @@
+lib/circuits/word.mli: Aig

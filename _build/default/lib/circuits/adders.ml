@@ -1,0 +1,75 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let interface name width =
+  let g = Graph.create ~name () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let cin = Graph.add_pi ~name:"cin" g in
+  (g, a, b, cin)
+
+let finish g sum cout =
+  Word.output_word g "s" sum;
+  ignore (Graph.add_po ~name:"cout" g cout);
+  g
+
+let ripple_carry ~width =
+  let g, a, b, cin = interface (Printf.sprintf "rca%d" width) width in
+  let sum, cout = Word.ripple_add g a b ~cin in
+  finish g sum cout
+
+let carry_lookahead ~width =
+  let g, a, b, cin = interface (Printf.sprintf "cla%d" width) width in
+  let p = Array.init width (fun i -> Builder.xor g a.(i) b.(i)) in
+  let gen = Array.init width (fun i -> Graph.and_ g a.(i) b.(i)) in
+  let carries = Array.make (width + 1) cin in
+  (* 4-bit lookahead groups; group carry-ins ripple between groups. *)
+  let group = 4 in
+  let i = ref 0 in
+  while !i < width do
+    let base = !i in
+    let hi = min (base + group) width in
+    for j = base to hi - 1 do
+      (* c_{j+1} = g_j + p_j g_{j-1} + ... + p_j..p_base c_base *)
+      let terms = ref [] in
+      for t = base to j do
+        let prod = ref gen.(t) in
+        for u = t + 1 to j do
+          prod := Graph.and_ g !prod p.(u)
+        done;
+        terms := !prod :: !terms
+      done;
+      let prop_all = ref carries.(base) in
+      for u = base to j do
+        prop_all := Graph.and_ g !prop_all p.(u)
+      done;
+      carries.(j + 1) <- Builder.or_list g (!prop_all :: !terms)
+    done;
+    i := hi
+  done;
+  let sum = Array.init width (fun i -> Builder.xor g p.(i) carries.(i)) in
+  finish g sum carries.(width)
+
+let kogge_stone ~width =
+  let g, a, b, cin = interface (Printf.sprintf "ksa%d" width) width in
+  let p0 = Array.init width (fun i -> Builder.xor g a.(i) b.(i)) in
+  let g0 = Array.init width (fun i -> Graph.and_ g a.(i) b.(i)) in
+  (* Fold cin into bit 0's generate/propagate. *)
+  let gen = Array.copy g0 and prop = Array.copy p0 in
+  gen.(0) <- Builder.or_ g g0.(0) (Graph.and_ g p0.(0) cin);
+  (* Parallel-prefix: (G, P) o (G', P') = (G + P G', P P'). *)
+  let dist = ref 1 in
+  while !dist < width do
+    let gen' = Array.copy gen and prop' = Array.copy prop in
+    for i = !dist to width - 1 do
+      gen'.(i) <- Builder.or_ g gen.(i) (Graph.and_ g prop.(i) gen.(i - !dist));
+      prop'.(i) <- Graph.and_ g prop.(i) prop.(i - !dist)
+    done;
+    Array.blit gen' 0 gen 0 width;
+    Array.blit prop' 0 prop 0 width;
+    dist := !dist * 2
+  done;
+  (* carries.(i) = carry INTO bit i. *)
+  let carry_in i = if i = 0 then cin else gen.(i - 1) in
+  let sum = Array.init width (fun i -> Builder.xor g p0.(i) (carry_in i)) in
+  finish g sum gen.(width - 1)

@@ -1,0 +1,14 @@
+(** Adder architectures: the [rca32]/[cla32]/[ksa32] benchmarks and the EPFL
+    [adder] class.
+
+    All build a fresh AIG with PIs [a0.., b0.., cin] and POs [s0.., cout]
+    (LSB-first unsigned encoding). *)
+
+val ripple_carry : width:int -> Aig.Graph.t
+(** [rca<width>]: chained full adders. *)
+
+val carry_lookahead : width:int -> Aig.Graph.t
+(** [cla<width>]: 4-bit lookahead groups with rippled group carries. *)
+
+val kogge_stone : width:int -> Aig.Graph.t
+(** [ksa<width>]: logarithmic parallel-prefix adder. *)

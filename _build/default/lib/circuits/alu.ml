@@ -1,0 +1,82 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let alu ?name ~width () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "alu%d" width in
+  let g = Graph.create ~name () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let op = Word.input_word g "op" 3 in
+  let mode = Graph.add_pi ~name:"mode" g in
+  let cin = Graph.add_pi ~name:"cin" g in
+  let en = Graph.add_pi ~name:"en" g in
+  let add_sum, add_cout = Word.ripple_add g a b ~cin in
+  let sub_sum, sub_cout = Word.subtract g a b in
+  let shl = Array.init width (fun i -> if i = 0 then cin else a.(i - 1)) in
+  let results =
+    [|
+      add_sum;
+      sub_sum;
+      Word.and_word g a b;
+      Word.or_word g a b;
+      Word.xor_word g a b;
+      Word.not_word (Word.or_word g a b);
+      shl;
+      a;
+    |]
+  in
+  (* 3-level mux tree over the op bits. *)
+  let level1 =
+    Array.init 4 (fun i ->
+        Word.mux_word g ~sel:op.(0) ~t:results.((2 * i) + 1) ~e:results.(2 * i))
+  in
+  let level2 =
+    Array.init 2 (fun i -> Word.mux_word g ~sel:op.(1) ~t:level1.((2 * i) + 1) ~e:level1.(2 * i))
+  in
+  let selected = Word.mux_word g ~sel:op.(2) ~t:level2.(1) ~e:level2.(0) in
+  let f = Array.map (fun l -> Builder.xor g l mode) selected in
+  let f = Array.map (fun l -> Graph.and_ g l en) f in
+  (* Carry out is meaningful for add/sub only. *)
+  let is_add =
+    Builder.and_list g [ Graph.lit_not op.(0); Graph.lit_not op.(1); Graph.lit_not op.(2) ]
+  in
+  let is_sub =
+    Builder.and_list g [ op.(0); Graph.lit_not op.(1); Graph.lit_not op.(2) ]
+  in
+  let cout =
+    Builder.or_ g (Graph.and_ g is_add add_cout) (Graph.and_ g is_sub sub_cout)
+  in
+  let zero = Graph.lit_not (Builder.or_list g (Array.to_list f)) in
+  Word.output_word g "f" f;
+  ignore (Graph.add_po ~name:"cout" g (Graph.and_ g cout en));
+  ignore (Graph.add_po ~name:"zero" g zero);
+  ignore (Graph.add_po ~name:"par" g (Word.parity g f));
+  g
+
+let alu4 () = alu ~name:"alu4" ~width:4 ()
+
+let alu4_pla () =
+  let beh = alu4 () in
+  let npis = Graph.num_pis beh in
+  let pats = Sim.Patterns.exhaustive ~npis in
+  let pos = Sim.Engine.simulate_pos beh pats in
+  let g = Graph.create ~name:"alu4" () in
+  let pis = Array.init npis (fun i -> Graph.add_pi ~name:(Graph.pi_name beh i) g) in
+  Array.iteri
+    (fun o sigv ->
+      let tt = Logic.Truth.of_fun npis (fun m -> Logic.Bitvec.get sigv m) in
+      let cover = Logic.Isop.compute ~on:tt ~dc:(Logic.Truth.const0 npis) in
+      let cube_lit (c : Logic.Cube.t) =
+        let lits = ref [] in
+        for v = 0 to npis - 1 do
+          match Logic.Cube.phase_of c v with
+          | Some true -> lits := pis.(v) :: !lits
+          | Some false -> lits := Graph.lit_not pis.(v) :: !lits
+          | None -> ()
+        done;
+        Builder.and_list g !lits
+      in
+      let products = List.map cube_lit cover.Logic.Cover.cubes in
+      ignore (Graph.add_po ~name:(Graph.po_name beh o) g (Builder.or_list g products)))
+    pos;
+  g

@@ -1,0 +1,18 @@
+(** Multi-function ALUs: the [alu4]-class benchmark and the ISCAS-class ALU
+    substitutes (see DESIGN.md §2.1).
+
+    Interface of {!alu}: PIs [a0..], [b0..], [op0..op2], [mode], [cin],
+    [en]; POs [f0..], [cout], [zero], [par].  Operations by [op]:
+    add, sub, and, or, xor, nor, shift-left-1 (into [cin]), pass-A; [mode]
+    complements the result, [en] gates it to zero. *)
+
+val alu : ?name:string -> width:int -> unit -> Aig.Graph.t
+
+val alu4 : unit -> Aig.Graph.t
+(** 4-bit instance (14 PIs / 8 POs, the [alu4] size class). *)
+
+val alu4_pla : unit -> Aig.Graph.t
+(** The same function rebuilt as a flat two-level PLA (ISOP per output from
+    the exhaustively tabulated truth tables) — the MCNC [alu4] benchmark is
+    a PLA, so this is the faithful structural form, and at ~3.6k AND gates
+    it also matches the paper's reported size (2798 mapped gates). *)

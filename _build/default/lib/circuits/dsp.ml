@@ -1,0 +1,110 @@
+module Graph = Aig.Graph
+
+let constant_mult g x c =
+  if c < 0 then invalid_arg "Dsp.constant_mult: negative constant";
+  let out_width = Array.length x + Encode.bits_for (max 1 c) in
+  let acc = ref (Word.zero ~width:out_width) in
+  let bit = ref 0 in
+  let c = ref c in
+  while !c <> 0 do
+    if !c land 1 = 1 then begin
+      (* acc += x << bit *)
+      let shifted =
+        Array.init out_width (fun i ->
+            if i - !bit >= 0 && i - !bit < Array.length x then x.(i - !bit)
+            else Graph.const0)
+      in
+      let sum, _ = Word.ripple_add g !acc shifted ~cin:Graph.const0 in
+      acc := sum
+    end;
+    incr bit;
+    c := !c lsr 1
+  done;
+  !acc
+
+let weighted_sum g words weights =
+  let terms = List.map2 (fun w c -> constant_mult g w c) words weights in
+  let width = List.fold_left (fun acc t -> max acc (Array.length t)) 0 terms + 4 in
+  List.fold_left
+    (fun acc t ->
+      let sum, _ = Word.ripple_add g acc (Word.resize t width) ~cin:Graph.const0 in
+      sum)
+    (Word.zero ~width) terms
+
+let fir3 ?(width = 8) ?(taps = (1, 2, 1)) () =
+  let c0, c1, c2 = taps in
+  let g = Graph.create ~name:"fir3" () in
+  let xs = List.init 3 (fun i -> Word.input_word g (Printf.sprintf "x%d" i) width) in
+  let y = weighted_sum g xs [ c0; c1; c2 ] in
+  (* Trim to the exact maximum value of the sum. *)
+  let maxval = ((1 lsl width) - 1) * (c0 + c1 + c2) in
+  Word.output_word g "y" (Word.resize y (Encode.bits_for (maxval + 1)));
+  g
+
+let gaussian3x3 ?(width = 8) () =
+  let g = Graph.create ~name:"gaussian3x3" () in
+  let pixels =
+    List.init 9 (fun i -> Word.input_word g (Printf.sprintf "p%d" i) width)
+  in
+  let weights = [ 1; 2; 1; 2; 4; 2; 1; 2; 1 ] in
+  let sum = weighted_sum g pixels weights in
+  (* Divide by 16: drop four low bits. *)
+  let out = Array.init width (fun i -> if i + 4 < Array.length sum then sum.(i + 4) else Graph.const0) in
+  Word.output_word g "y" out;
+  g
+
+let sobel3x3 ?(width = 8) () =
+  (* |Gx| + |Gy| with Gx = (p2 + 2 p5 + p8) - (p0 + 2 p3 + p6),
+                    Gy = (p6 + 2 p7 + p8) - (p0 + 2 p1 + p2). *)
+  let g = Graph.create ~name:"sobel3x3" () in
+  let p = Array.init 9 (fun i -> Word.input_word g (Printf.sprintf "p%d" i) width) in
+  let side idxs = weighted_sum g (List.map (fun (i, c) -> (p.(i), c)) idxs |> List.map fst)
+                    (List.map snd idxs) in
+  let w = width + 3 in
+  let abs_diff a b =
+    let a = Word.resize a w and b = Word.resize b w in
+    let d1, no_borrow = Word.subtract g a b in
+    let d2, _ = Word.subtract g b a in
+    Word.mux_word g ~sel:no_borrow ~t:d1 ~e:d2
+  in
+  let gx = abs_diff (side [ (2, 1); (5, 2); (8, 1) ]) (side [ (0, 1); (3, 2); (6, 1) ]) in
+  let gy = abs_diff (side [ (6, 1); (7, 2); (8, 1) ]) (side [ (0, 1); (1, 2); (2, 1) ]) in
+  let mag, _ = Word.ripple_add g gx gy ~cin:Graph.const0 in
+  Word.output_word g "m" (Word.resize mag (width + 2));
+  g
+
+let mac ?(width = 8) () =
+  let g = Graph.create ~name:"mac" () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let acc = Word.input_word g "c" (2 * width) in
+  let pp = Array.map (fun bj -> Array.map (fun ai -> Graph.and_ g ai bj) a) b in
+  let columns = Array.make ((2 * width) + 1) [] in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i bit -> columns.(i + j) <- bit :: columns.(i + j)) row)
+    pp;
+  Array.iteri (fun i bit -> columns.(i) <- bit :: columns.(i)) acc;
+  let sum = Multipliers.reduce_columns g columns in
+  Word.output_word g "y" sum;
+  g
+
+(* Compare-exchange: after the swap, position [i] holds the minimum. *)
+let median3x3 ?(width = 8) () =
+  let g = Graph.create ~name:"median3x3" () in
+  let p = Array.init 9 (fun i -> Word.input_word g (Printf.sprintf "p%d" i) width) in
+  let exchange i j =
+    let gt = Word.less_unsigned g p.(j) p.(i) in
+    let lo = Word.mux_word g ~sel:gt ~t:p.(j) ~e:p.(i) in
+    let hi = Word.mux_word g ~sel:gt ~t:p.(i) ~e:p.(j) in
+    p.(i) <- lo;
+    p.(j) <- hi
+  in
+  (* Paeth's 19-exchange median-of-9 network. *)
+  List.iter
+    (fun (i, j) -> exchange i j)
+    [ (1, 2); (4, 5); (7, 8); (0, 1); (3, 4); (6, 7); (1, 2); (4, 5); (7, 8);
+      (0, 3); (5, 8); (4, 7); (3, 6); (1, 4); (2, 5); (4, 7); (4, 2); (6, 4);
+      (4, 2) ]
+  ;
+  Word.output_word g "m" p.(4);
+  g

@@ -1,0 +1,32 @@
+(** DSP-style datapath circuits: the error-resilient workloads the paper's
+    introduction motivates (image processing, filtering).
+
+    All are pure combinational datapaths over unsigned fixed-point words,
+    built from the shared {!Word}/{!Multipliers} blocks. *)
+
+val constant_mult : Aig.Graph.t -> Word.word -> int -> Word.word
+(** [constant_mult g x c]: shift-and-add multiplication by a non-negative
+    constant; result width is [width x + bits_for c]. *)
+
+val fir3 : ?width:int -> ?taps:int * int * int -> unit -> Aig.Graph.t
+(** 3-tap FIR filter [y = c0 x0 + c1 x1 + c2 x2] over three [width]-bit
+    samples (default 8-bit, taps (1, 2, 1) — the binomial smoothing
+    kernel).  POs carry the full-precision sum. *)
+
+val gaussian3x3 : ?width:int -> unit -> Aig.Graph.t
+(** 3x3 binomial ("Gaussian") image-smoothing kernel: nine [width]-bit
+    pixels in, one [width]-bit pixel out ([ (sum of weighted pixels) / 16 ],
+    weights 1-2-1 / 2-4-2 / 1-2-1).  Default 8-bit pixels. *)
+
+val sobel3x3 : ?width:int -> unit -> Aig.Graph.t
+(** 3x3 Sobel gradient magnitude (|Gx| + |Gy| approximation), nine pixels
+    in, [width+2]-bit magnitude out.  Default 8-bit pixels. *)
+
+val mac : ?width:int -> unit -> Aig.Graph.t
+(** Multiply-accumulate [a * b + acc]: the inner kernel of every dot
+    product.  Default 8x8 + 16. *)
+
+val median3x3 : ?width:int -> unit -> Aig.Graph.t
+(** 3x3 median filter: nine [width]-bit pixels in, their median out,
+    realized as a 19-comparator selection network (Paeth's classic
+    9-element median exchange sequence).  Default 8-bit pixels. *)

@@ -1,0 +1,58 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let one_hot_first g bits =
+  let blocked = ref Graph.const0 in
+  Array.map
+    (fun b ->
+      let sel = Graph.and_ g b (Graph.lit_not !blocked) in
+      blocked := Builder.or_ g !blocked b;
+      sel)
+    bits
+
+let one_hot_last g bits =
+  let n = Array.length bits in
+  let rev = Array.init n (fun i -> bits.(n - 1 - i)) in
+  let sel = one_hot_first g rev in
+  Array.init n (fun i -> sel.(n - 1 - i))
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 0
+
+let binary_of_one_hot g one_hot =
+  let n = Array.length one_hot in
+  let w = bits_for n in
+  Array.init w (fun j ->
+      let taps = ref [] in
+      Array.iteri (fun i s -> if (i lsr j) land 1 = 1 then taps := s :: !taps) one_hot;
+      Builder.or_list g !taps)
+
+let decode g sel =
+  let n = Array.length sel in
+  Array.init (1 lsl n) (fun v ->
+      Builder.and_list g
+        (List.init n (fun j ->
+             if (v lsr j) land 1 = 1 then sel.(j) else Graph.lit_not sel.(j))))
+
+let popcount g bits =
+  (* Pairwise full-adder (3:2 compressor) reduction on equal-weight bins. *)
+  let out_width = bits_for (Array.length bits + 1) in
+  let bins = Array.make (out_width + 1) [] in
+  bins.(0) <- Array.to_list bits;
+  for w = 0 to out_width - 1 do
+    let rec crunch = function
+      | a :: b :: c :: rest ->
+          let s, carry = Builder.full_adder g a b c in
+          bins.(w + 1) <- carry :: bins.(w + 1);
+          s :: crunch rest
+      | [ a; b ] ->
+          let s, carry = Builder.half_adder g a b in
+          bins.(w + 1) <- carry :: bins.(w + 1);
+          [ s ]
+      | rest -> rest
+    in
+    let rec fixpoint bits = if List.length bits > 1 then fixpoint (crunch bits) else bits in
+    bins.(w) <- fixpoint bins.(w)
+  done;
+  Array.init out_width (fun w -> match bins.(w) with [ b ] -> b | _ -> Graph.const0)

@@ -1,0 +1,20 @@
+(** Encoders/decoders shared by the control-class benchmarks. *)
+
+val bits_for : int -> int
+(** Smallest [b] with [2^b >= n]. *)
+
+val one_hot_first : Aig.Graph.t -> Word.word -> Word.word
+(** [one_hot_first g bits]: bit [i] set iff input bit [i] is the
+    lowest-index set bit. *)
+
+val one_hot_last : Aig.Graph.t -> Word.word -> Word.word
+(** Highest-index set bit wins (leading-one detector). *)
+
+val binary_of_one_hot : Aig.Graph.t -> Word.word -> Word.word
+(** Encode a one-hot word into its index ([ceil log2 n] bits). *)
+
+val decode : Aig.Graph.t -> Word.word -> Word.word
+(** Full binary decoder: [n] select bits to [2^n] one-hot outputs. *)
+
+val popcount : Aig.Graph.t -> Word.word -> Word.word
+(** Population count as a [ceil log2 (n+1)]-bit word (full-adder tree). *)

@@ -1,0 +1,168 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let adder ?(width = 32) () =
+  let g = Graph.create ~name:"adder" () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let sum, cout = Word.ripple_add g a b ~cin:Graph.const0 in
+  Word.output_word g "s" sum;
+  ignore (Graph.add_po ~name:"cout" g cout);
+  g
+
+let shifter ?(width = 32) () =
+  let g = Graph.create ~name:"shifter" () in
+  let x = Word.input_word g "x" width in
+  let amount = Word.input_word g "sh" (Encode.bits_for width) in
+  Word.output_word g "y" (Word.shift_right g x ~amount);
+  g
+
+let divide_core g num den =
+  let w = Array.length num in
+  let rw = w + 1 in
+  let den_ext = Word.resize den rw in
+  let rem = ref (Word.zero ~width:rw) in
+  let q = Array.make w Graph.const0 in
+  for i = w - 1 downto 0 do
+    let shifted = Array.init rw (fun j -> if j = 0 then num.(i) else !rem.(j - 1)) in
+    let diff, no_borrow = Word.subtract g shifted den_ext in
+    q.(i) <- no_borrow;
+    rem := Word.mux_word g ~sel:no_borrow ~t:diff ~e:shifted
+  done;
+  (q, Array.sub !rem 0 w)
+
+let divisor ?(width = 16) () =
+  let g = Graph.create ~name:"divisor" () in
+  let num = Word.input_word g "n" width in
+  let den = Word.input_word g "d" width in
+  let q, r = divide_core g num den in
+  Word.output_word g "q" q;
+  Word.output_word g "r" r;
+  g
+
+let isqrt_core g x =
+  let w = Array.length x in
+  if w mod 2 <> 0 then invalid_arg "isqrt_core: odd width";
+  let half = w / 2 in
+  let rw = half + 4 in
+  let rem = ref (Word.zero ~width:rw) in
+  let root = ref (Word.zero ~width:rw) in
+  for i = half - 1 downto 0 do
+    (* Bring down two radicand bits. *)
+    let shifted =
+      Array.init rw (fun j ->
+          if j = 0 then x.(2 * i)
+          else if j = 1 then x.((2 * i) + 1)
+          else !rem.(j - 2))
+    in
+    (* Trial subtrahend: (root << 2) | 1. *)
+    let trial =
+      Array.init rw (fun j ->
+          if j = 0 then Graph.const1 else if j = 1 then Graph.const0 else !root.(j - 2))
+    in
+    let diff, no_borrow = Word.subtract g shifted trial in
+    rem := Word.mux_word g ~sel:no_borrow ~t:diff ~e:shifted;
+    root := Array.init rw (fun j -> if j = 0 then no_borrow else !root.(j - 1))
+  done;
+  (Array.sub !root 0 half, !rem)
+
+let sqrt_ ?(width = 32) () =
+  let g = Graph.create ~name:"sqrt" () in
+  let x = Word.input_word g "x" width in
+  let root, _ = isqrt_core g x in
+  Word.output_word g "rt" root;
+  g
+
+let hyp ?(width = 8) () =
+  let g = Graph.create ~name:"hyp" () in
+  let x = Word.input_word g "x" width in
+  let y = Word.input_word g "y" width in
+  let pps a = Array.map (fun bj -> Array.map (fun ai -> Graph.and_ g ai bj) a) a in
+  let square_word a =
+    let columns = Array.make (2 * width) [] in
+    Array.iteri
+      (fun j row ->
+        Array.iteri (fun i bit -> columns.(i + j) <- bit :: columns.(i + j)) row)
+      (pps a);
+    columns
+  in
+  (* Sum of squares via shared column reduction, then an 18-bit sqrt. *)
+  let cx = square_word x and cy = square_word y in
+  let columns = Array.init ((2 * width) + 2) (fun i ->
+      (if i < 2 * width then cx.(i) @ cy.(i) else [])) in
+  let total = Multipliers.reduce_columns g columns in
+  let root, _ = isqrt_core g total in
+  Word.output_word g "h" root;
+  g
+
+let log2 ?(width = 16) () =
+  (* Leading-one position (integer part) plus the 8 bits that follow the
+     leading one (truncated binary fraction). *)
+  let g = Graph.create ~name:"log2" () in
+  let x = Word.input_word g "x" width in
+  let lead = Encode.one_hot_last g x in
+  let ilog = Encode.binary_of_one_hot g lead in
+  let frac_bits = 8 in
+  let frac =
+    Array.init frac_bits (fun k ->
+        let off = k + 1 in
+        let taps = ref [] in
+        Array.iteri
+          (fun i sel ->
+            if i - off >= 0 then taps := Graph.and_ g sel x.(i - off) :: !taps)
+          lead;
+        Builder.or_list g !taps)
+  in
+  (* frac.(0) is right below the leading one = weight 1/2 -> emit MSB-down. *)
+  Word.output_word g "ilog" ilog;
+  Word.output_word g "frac" (Array.init frac_bits (fun i -> frac.(frac_bits - 1 - i)));
+  ignore (Graph.add_po ~name:"valid" g (Builder.or_list g (Array.to_list x)));
+  g
+
+let max_ ?(width = 16) () =
+  let g = Graph.create ~name:"max" () in
+  let ops = Array.init 4 (fun i -> Word.input_word g (Printf.sprintf "x%c" (Char.chr (97 + i))) width) in
+  let pick a b = (* (max, a_wins) *)
+    let b_gt = Word.less_unsigned g a b in
+    (Word.mux_word g ~sel:b_gt ~t:b ~e:a, Graph.lit_not b_gt)
+  in
+  let m01, w01 = pick ops.(0) ops.(1) in
+  let m23, w23 = pick ops.(2) ops.(3) in
+  let m, first_pair_wins = pick m01 m23 in
+  Word.output_word g "m" m;
+  (* Argmax index (2 bits). *)
+  let idx0 =
+    Builder.mux g ~sel:first_pair_wins ~t:(Graph.lit_not w01) ~e:(Graph.lit_not w23)
+  in
+  ignore (Graph.add_po ~name:"i0" g idx0);
+  ignore (Graph.add_po ~name:"i1" g (Graph.lit_not first_pair_wins));
+  g
+
+let mult ?(width = 16) () =
+  let g = Multipliers.wallace ~width in
+  Graph.set_name g "mult";
+  g
+
+let sine ?(width = 12) () =
+  (* sin(pi * t) for t in [0,1) as fixed point: the Bhaskara-like parabola
+     4 t (1 - t), computed exactly in fixed point and truncated to [width]
+     fractional bits. *)
+  let g = Graph.create ~name:"sine" () in
+  let t = Word.input_word g "t" width in
+  let one_minus_t = Word.negate g t in
+  (* (1 - t) mod 1 == two's complement negation for t <> 0; t = 0 -> 0. *)
+  let pp = Array.map (fun bj -> Array.map (fun ai -> Graph.and_ g ai bj) t) one_minus_t in
+  let columns = Array.make (2 * width) [] in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i bit -> columns.(i + j) <- bit :: columns.(i + j)) row)
+    pp;
+  let prod = Multipliers.reduce_columns g columns in
+  (* t(1-t) in [0, 1/4]; multiply by 4 = shift left 2, keep top [width]. *)
+  let y = Array.init width (fun i -> prod.(width - 2 + i)) in
+  Word.output_word g "y" y;
+  g
+
+let square ?(width = 16) () =
+  let g = Multipliers.square ~width in
+  Graph.set_name g "square";
+  g

@@ -1,0 +1,50 @@
+(** EPFL arithmetic-class benchmark substitutes, width-scaled for an
+    iterative ALS loop on laptop hardware (scale factors are recorded in
+    {!Suite} and DESIGN.md §2.2). *)
+
+val adder : ?width:int -> unit -> Aig.Graph.t
+(** Plain adder; default 32 bits (EPFL: 128; kept within the 62-output
+    limit of the integer-encoded error metrics). *)
+
+val shifter : ?width:int -> unit -> Aig.Graph.t
+(** Logical right barrel shifter; default 32 bits (EPFL: 128). *)
+
+val divisor : ?width:int -> unit -> Aig.Graph.t
+(** Restoring divider, quotient + remainder; default 16 bits (EPFL: 64).
+    Division by zero yields an all-ones quotient and passes the dividend
+    through as remainder. *)
+
+val hyp : ?width:int -> unit -> Aig.Graph.t
+(** Euclidean norm [floor (sqrt (x^2 + y^2))]; default 8-bit operands (EPFL
+    hyp: 128-bit).  Listed for completeness; excluded from the Table VII
+    runs exactly as the paper excludes [hyp]. *)
+
+val log2 : ?width:int -> unit -> Aig.Graph.t
+(** Integer + 8-bit fractional base-2 logarithm; default 16-bit input
+    (EPFL: 32). *)
+
+val max_ : ?width:int -> unit -> Aig.Graph.t
+(** Maximum of four unsigned operands + argmax index; default 16 bits
+    (EPFL: four 128-bit operands). *)
+
+val mult : ?width:int -> unit -> Aig.Graph.t
+(** Wallace multiplier; default 16×16 (EPFL: 64×64). *)
+
+val sine : ?width:int -> unit -> Aig.Graph.t
+(** Fixed-point parabolic sine approximation over a half period; default
+    12-bit phase (EPFL sin: 24-bit). *)
+
+val sqrt_ : ?width:int -> unit -> Aig.Graph.t
+(** Restoring integer square root; default 32-bit radicand (EPFL: 128). *)
+
+val square : ?width:int -> unit -> Aig.Graph.t
+(** Squarer; default 16 bits (EPFL: 64). *)
+
+(** {1 Cores} (shared with tests) *)
+
+val divide_core :
+  Aig.Graph.t -> Word.word -> Word.word -> Word.word * Word.word
+(** [(quotient, remainder)] of equal-width unsigned operands. *)
+
+val isqrt_core : Aig.Graph.t -> Word.word -> Word.word * Word.word
+(** [(root, remainder)]; the input width must be even. *)

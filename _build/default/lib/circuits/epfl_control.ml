@@ -1,0 +1,248 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let arbiter ?(n = 32) () =
+  let g = Graph.create ~name:"arbiter" () in
+  let req = Word.input_word g "r" n in
+  let ptr_bits = Encode.bits_for n in
+  let ptr = Word.input_word g "p" ptr_bits in
+  (* Rotate requests right by the pointer, pick the first, rotate back. *)
+  let rotate word ~right =
+    let result = ref word in
+    Array.iteri
+      (fun stage sel ->
+        let k = 1 lsl stage in
+        let rotated =
+          Array.init n (fun i ->
+              let src = if right then (i + k) mod n else (i - k + n) mod n in
+              !result.(src))
+        in
+        result := Word.mux_word g ~sel ~t:rotated ~e:!result)
+      ptr;
+    !result
+  in
+  let rotated = rotate req ~right:true in
+  let grant_rot = Encode.one_hot_first g rotated in
+  let grant = rotate grant_rot ~right:false in
+  Word.output_word g "g" grant;
+  g
+
+(* Deterministic structured random logic: the stand-in for table-driven
+   controllers whose netlists are irregular by nature. *)
+let seeded_sop g rng inputs ~cubes ~lits_lo ~lits_hi =
+  let n = Array.length inputs in
+  let cube () =
+    let lits = lits_lo + Logic.Rng.int rng (lits_hi - lits_lo + 1) in
+    let chosen = Array.make n 0 in
+    let terms = ref [] in
+    for _ = 1 to lits do
+      let v = Logic.Rng.int rng n in
+      if chosen.(v) = 0 then begin
+        chosen.(v) <- 1;
+        let lit = if Logic.Rng.bool rng then inputs.(v) else Graph.lit_not inputs.(v) in
+        terms := lit :: !terms
+      end
+    done;
+    Builder.and_list g !terms
+  in
+  Builder.or_list g (List.init cubes (fun _ -> cube ()))
+
+let cavlc () =
+  let g = Graph.create ~name:"cavlc" () in
+  let inputs = Word.input_word g "x" 10 in
+  let rng = Logic.Rng.create 0xCA71C in
+  for o = 0 to 10 do
+    let f = seeded_sop g rng inputs ~cubes:9 ~lits_lo:3 ~lits_hi:6 in
+    ignore (Graph.add_po ~name:(Printf.sprintf "y%d" o) g f)
+  done;
+  g
+
+let ctrl () =
+  (* Instruction decoder: 7-bit opcode -> 26 control lines, built from a full
+     decode of the top 4 bits combined with the low bits. *)
+  let g = Graph.create ~name:"ctrl" () in
+  let opcode = Word.input_word g "op" 7 in
+  let hi = Array.sub opcode 3 4 in
+  let lo = Array.sub opcode 0 3 in
+  let onehot = Encode.decode g hi in
+  let classes =
+    [|
+      [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ]; [ 6; 7; 8 ]; [ 9 ]; [ 10; 11 ];
+      [ 12; 13; 14; 15 ]; [ 1; 5; 9 ]; [ 2; 6; 10 ]; [ 0; 15 ]; [ 4; 8; 12 ];
+      [ 3; 7; 11 ]; [ 13; 14 ]; [ 0; 2; 4; 6 ]; [ 1; 3; 5; 7 ]; [ 8; 9; 10; 11 ];
+    |]
+  in
+  let class_sig idxs = Builder.or_list g (List.map (fun i -> onehot.(i)) idxs) in
+  Array.iteri
+    (fun i idxs ->
+      ignore (Graph.add_po ~name:(Printf.sprintf "c%d" i) g (class_sig idxs)))
+    classes;
+  (* Qualified lines mixing the low bits in. *)
+  let quals =
+    [
+      (0, 0); (1, 1); (2, 2); (3, 0); (4, 1); (5, 2); (6, 0); (7, 1); (8, 2); (9, 0);
+    ]
+  in
+  List.iteri
+    (fun i (cls, bit) ->
+      let f = Graph.and_ g (class_sig classes.(cls)) lo.(bit) in
+      ignore (Graph.add_po ~name:(Printf.sprintf "q%d" i) g f))
+    quals;
+  g
+
+let dec ?(bits = 8) () =
+  let g = Graph.create ~name:"dec" () in
+  let sel = Word.input_word g "a" bits in
+  Word.output_word g "d" (Encode.decode g sel);
+  g
+
+let i2c () =
+  (* Controller slice: 5-bit state machine step + address match + shifter. *)
+  let g = Graph.create ~name:"i2c" () in
+  let state = Word.input_word g "st" 5 in
+  let scl = Graph.add_pi ~name:"scl" g in
+  let sda = Graph.add_pi ~name:"sda" g in
+  let start = Graph.add_pi ~name:"start" g in
+  let stop = Graph.add_pi ~name:"stop" g in
+  let addr = Word.input_word g "addr" 7 in
+  let own = Word.input_word g "own" 7 in
+  let data = Word.input_word g "d" 8 in
+  let addr_match = Word.equal g addr own in
+  let one = Word.const_word 1 ~width:5 in
+  let next_seq, _ = Word.ripple_add g state one ~cin:Graph.const0 in
+  let idle = Word.const_word 0 ~width:5 in
+  let next =
+    Word.mux_word g ~sel:stop ~t:idle
+      ~e:(Word.mux_word g ~sel:start ~t:(Word.const_word 1 ~width:5) ~e:next_seq)
+  in
+  let gated = Word.mux_word g ~sel:scl ~t:next ~e:state in
+  Word.output_word g "nst" gated;
+  let shifted = Array.init 8 (fun i -> if i = 0 then sda else data.(i - 1)) in
+  Word.output_word g "sh" shifted;
+  ignore (Graph.add_po ~name:"ack" g (Graph.and_ g addr_match scl));
+  ignore
+    (Graph.add_po ~name:"busy" g
+       (Graph.and_ g (Builder.or_list g (Array.to_list state)) (Graph.lit_not stop)));
+  ignore (Graph.add_po ~name:"sda_o" g (Builder.mux g ~sel:addr_match ~t:data.(7) ~e:sda));
+  g
+
+let int2float () =
+  (* 11-bit two's-complement integer -> sign, 4-bit exponent, 2-bit mantissa
+     (truncated), the EPFL 11-in/7-out interface. *)
+  let g = Graph.create ~name:"int2float" () in
+  let x = Word.input_word g "x" 11 in
+  let sign = x.(10) in
+  let mag10 = Array.sub (Word.mux_word g ~sel:sign ~t:(Word.negate g x) ~e:x) 0 10 in
+  let lead = Encode.one_hot_last g mag10 in
+  let exp = Encode.binary_of_one_hot g lead in
+  (* Mantissa: the two bits right below the leading one. *)
+  let bit_at_offset off =
+    let taps = ref [] in
+    Array.iteri
+      (fun i sel -> if i - off >= 0 then taps := Graph.and_ g sel mag10.(i - off) :: !taps)
+      lead;
+    Builder.or_list g !taps
+  in
+  ignore (Graph.add_po ~name:"sign" g sign);
+  Word.output_word g "exp" exp;
+  ignore (Graph.add_po ~name:"m1" g (bit_at_offset 1));
+  ignore (Graph.add_po ~name:"m2" g (bit_at_offset 2));
+  g
+
+let mem_ctrl () =
+  (* A wide controller slice: bank decoding with enables, a 4-master rotating
+     arbiter, refresh-timer comparators and byte steering. *)
+  let g = Graph.create ~name:"mem_ctrl" () in
+  let addr = Word.input_word g "addr" 16 in
+  let req = Word.input_word g "req" 4 in
+  let ptr = Word.input_word g "ptr" 2 in
+  let timer = Word.input_word g "t" 12 in
+  let refresh_at = Word.input_word g "rfsh" 12 in
+  let wdata = Word.input_word g "w" 8 in
+  let be = Word.input_word g "be" 4 in
+  let mode = Word.input_word g "mode" 3 in
+  (* Bank select: top 4 address bits. *)
+  let bank = Encode.decode g (Array.sub addr 12 4) in
+  let row_parity = Word.parity g (Array.sub addr 0 12) in
+  (* Rotating arbitration among 4 masters. *)
+  let rotate word right =
+    let result = ref word in
+    Array.iteri
+      (fun stage sel ->
+        let k = 1 lsl stage in
+        let rotated =
+          Array.init 4 (fun i -> !result.((if right then i + k else i - k + 8) mod 4))
+        in
+        result := Word.mux_word g ~sel ~t:rotated ~e:!result)
+      ptr;
+    !result
+  in
+  let grant = rotate (Encode.one_hot_first g (rotate req true)) false in
+  (* Refresh when the timer reaches the programmed interval. *)
+  let refresh = Word.equal g timer refresh_at in
+  let urgent = Word.less_unsigned g refresh_at timer in
+  let do_refresh = Builder.or_ g refresh urgent in
+  (* Byte lanes: write data replicated under byte enables, killed during
+     refresh. *)
+  let lanes =
+    Array.concat
+      (List.init 4 (fun lane ->
+           Array.map
+             (fun b ->
+               Builder.and_list g [ b; be.(lane); Graph.lit_not do_refresh ])
+             wdata))
+  in
+  Word.output_word g "bank" (Array.map (fun b -> Graph.and_ g b (Graph.lit_not do_refresh)) bank);
+  Word.output_word g "gnt" grant;
+  Word.output_word g "lane" lanes;
+  ignore (Graph.add_po ~name:"rfsh_go" g do_refresh);
+  ignore (Graph.add_po ~name:"rp" g row_parity);
+  (* Mode-dependent command encoding. *)
+  let cmd = Encode.decode g mode in
+  Array.iteri
+    (fun i c ->
+      if i < 6 then
+        ignore
+          (Graph.add_po ~name:(Printf.sprintf "cmd%d" i) g
+             (Graph.and_ g c (Builder.or_list g (Array.to_list req)))))
+    cmd;
+  g
+
+let priority ?(n = 128) () =
+  let g = Graph.create ~name:"priority" () in
+  let x = Word.input_word g "x" n in
+  let sel = Encode.one_hot_first g x in
+  Word.output_word g "idx" (Encode.binary_of_one_hot g sel);
+  ignore (Graph.add_po ~name:"valid" g (Builder.or_list g (Array.to_list x)));
+  g
+
+let router () =
+  (* Route an 8-bit destination against three [lo, hi] port ranges. *)
+  let g = Graph.create ~name:"router" () in
+  let dest = Word.input_word g "dest" 8 in
+  let hits =
+    List.init 3 (fun p ->
+        let lo = Word.input_word g (Printf.sprintf "lo%d" p) 8 in
+        let hi = Word.input_word g (Printf.sprintf "hi%d" p) 8 in
+        let ge_lo = Graph.lit_not (Word.less_unsigned g dest lo) in
+        let le_hi = Graph.lit_not (Word.less_unsigned g hi dest) in
+        Graph.and_ g ge_lo le_hi)
+  in
+  let any = Builder.or_list g hits in
+  List.iteri
+    (fun p hit -> ignore (Graph.add_po ~name:(Printf.sprintf "port%d" p) g hit))
+    hits;
+  ignore (Graph.add_po ~name:"dflt" g (Graph.lit_not any));
+  (* First matching port as a 2-bit index. *)
+  let onehot = Encode.one_hot_first g (Array.of_list hits) in
+  Word.output_word g "pidx" (Encode.binary_of_one_hot g onehot);
+  g
+
+let voter ?(n = 101) () =
+  let g = Graph.create ~name:"voter" () in
+  let x = Word.input_word g "x" n in
+  let count = Encode.popcount g x in
+  let majority = Word.const_word ((n / 2) + 1) ~width:(Array.length count) in
+  let ge = Graph.lit_not (Word.less_unsigned g count majority) in
+  ignore (Graph.add_po ~name:"maj" g ge);
+  g

@@ -1,0 +1,38 @@
+(** EPFL random/control-class benchmark substitutes (DESIGN.md §2.2).
+
+    Functions with a public specification ([dec], [priority], [int2float],
+    [voter], [arbiter]) are rebuilt to spec, some at reduced width; the
+    irregular controllers ([cavlc], [i2c], [mem_ctrl], [router], [ctrl])
+    are structured synthetic control logic of the same size class, generated
+    deterministically. *)
+
+val arbiter : ?n:int -> unit -> Aig.Graph.t
+(** Rotating-priority arbiter: requests [r0..], pointer [p0..]; one-hot
+    grants.  Default [n = 32] (EPFL original: 256). *)
+
+val cavlc : unit -> Aig.Graph.t
+(** 10-in / 11-out table-lookup logic (seeded two-level structure). *)
+
+val ctrl : unit -> Aig.Graph.t
+(** 7-in / 26-out instruction-decode control block. *)
+
+val dec : ?bits:int -> unit -> Aig.Graph.t
+(** Full decoder; default [bits = 8] → 256 outputs (EPFL-exact). *)
+
+val i2c : unit -> Aig.Graph.t
+(** Bus-controller slice: next-state + data-path steering. *)
+
+val int2float : unit -> Aig.Graph.t
+(** 11-bit signed integer to sign/exponent/mantissa (7 outputs). *)
+
+val mem_ctrl : unit -> Aig.Graph.t
+(** Memory-controller slice: bank decode, rotating arbitration, timers. *)
+
+val priority : ?n:int -> unit -> Aig.Graph.t
+(** Priority encoder; default [n = 128] (EPFL-exact size). *)
+
+val router : unit -> Aig.Graph.t
+(** Address-range port matcher. *)
+
+val voter : ?n:int -> unit -> Aig.Graph.t
+(** Majority voter; default [n = 101] (EPFL original: 1001). *)

@@ -1,0 +1,121 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let c880_like () = Alu.alu ~name:"c880" ~width:8 ()
+
+(* (21,16) Hamming code: 16 data bits live at the non-power-of-two positions
+   of a 21-bit codeword; check bits at positions 1,2,4,8,16.  The circuit
+   receives a codeword, recomputes the syndrome, and corrects a single-bit
+   error in the data. *)
+let c1908_like () =
+  let g = Graph.create ~name:"c1908" () in
+  let code = Word.input_word g "c" 21 in
+  (* position = index + 1 (1-based positions). *)
+  let syndrome =
+    Array.init 5 (fun j ->
+        let taps = ref [] in
+        Array.iteri
+          (fun i bit ->
+            let pos = i + 1 in
+            if (pos lsr j) land 1 = 1 then taps := bit :: !taps)
+          code;
+        Builder.xor_list g !taps)
+  in
+  (* Correct data bits: data bit k sits at the k-th non-power position. *)
+  let is_power p = p land (p - 1) = 0 in
+  let corrected = ref [] in
+  Array.iteri
+    (fun i bit ->
+      let pos = i + 1 in
+      if not (is_power pos) then begin
+        (* Syndrome equals this position -> flip. *)
+        let hit =
+          Builder.and_list g
+            (List.init 5 (fun j ->
+                 if (pos lsr j) land 1 = 1 then syndrome.(j) else Graph.lit_not syndrome.(j)))
+        in
+        corrected := Builder.xor g bit hit :: !corrected
+      end)
+    code;
+  Word.output_word g "d" (Array.of_list (List.rev !corrected));
+  Word.output_word g "syn" syndrome;
+  ignore
+    (Graph.add_po ~name:"err" g (Builder.or_list g (Array.to_list syndrome)));
+  g
+
+let c2670_like () =
+  let g = Graph.create ~name:"c2670" () in
+  let width = 12 in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let cin = Graph.add_pi ~name:"cin" g in
+  let en_add = Graph.add_pi ~name:"en_add" g in
+  let en_cmp = Graph.add_pi ~name:"en_cmp" g in
+  let inv_b = Graph.add_pi ~name:"inv_b" g in
+  let b' = Array.map (fun l -> Builder.xor g l inv_b) b in
+  let sum, cout = Word.ripple_add g a b' ~cin in
+  let gated = Array.map (fun l -> Graph.and_ g l en_add) sum in
+  let eq = Graph.and_ g (Word.equal g a b') en_cmp in
+  let lt = Graph.and_ g (Word.less_unsigned g a b') en_cmp in
+  Word.output_word g "s" gated;
+  ignore (Graph.add_po ~name:"cout" g (Graph.and_ g cout en_add));
+  ignore (Graph.add_po ~name:"eq" g eq);
+  ignore (Graph.add_po ~name:"lt" g lt);
+  ignore (Graph.add_po ~name:"par" g (Word.parity g gated));
+  g
+
+let c3540_like () =
+  (* Two ALU banks sharing operands, selected by a mode input: mimics the
+     binary/BCD dual personality of c3540. *)
+  let g = Graph.create ~name:"c3540" () in
+  let width = 8 in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let op = Word.input_word g "op" 3 in
+  let bank = Graph.add_pi ~name:"bank" g in
+  let cin = Graph.add_pi ~name:"cin" g in
+  let add_sum, add_cout = Word.ripple_add g a b ~cin in
+  let sub_sum, sub_cout = Word.subtract g a b in
+  let shl = Word.shift_left g a ~amount:(Word.resize op 2) in
+  let shr = Word.shift_right g a ~amount:(Word.resize op 2) in
+  let bank0 =
+    [| add_sum; sub_sum; Word.and_word g a b; Word.or_word g a b |]
+  in
+  let bank1 =
+    [| Word.xor_word g a b; Word.not_word (Word.and_word g a b); shl; shr |]
+  in
+  let pick bank_arr =
+    let l1 =
+      Array.init 2 (fun i ->
+          Word.mux_word g ~sel:op.(0) ~t:bank_arr.((2 * i) + 1) ~e:bank_arr.(2 * i))
+    in
+    Word.mux_word g ~sel:op.(1) ~t:l1.(1) ~e:l1.(0)
+  in
+  let f = Word.mux_word g ~sel:bank ~t:(pick bank1) ~e:(pick bank0) in
+  let cout = Builder.mux g ~sel:op.(0) ~t:sub_cout ~e:add_cout in
+  Word.output_word g "f" f;
+  ignore (Graph.add_po ~name:"cout" g (Graph.and_ g cout (Graph.lit_not bank)));
+  ignore (Graph.add_po ~name:"zero" g (Graph.lit_not (Builder.or_list g (Array.to_list f))));
+  ignore (Graph.add_po ~name:"neg" g f.(width - 1));
+  g
+
+let c5315_like () = Alu.alu ~name:"c5315" ~width:9 ()
+
+let c7552_like () =
+  let g = Graph.create ~name:"c7552" () in
+  let width = 32 in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let cin = Graph.add_pi ~name:"cin" g in
+  let sel = Graph.add_pi ~name:"sel" g in
+  let sum, cout = Word.ripple_add g a b ~cin in
+  let diff, bout = Word.subtract g a b in
+  let f = Word.mux_word g ~sel ~t:diff ~e:sum in
+  Word.output_word g "f" f;
+  ignore (Graph.add_po ~name:"cout" g (Builder.mux g ~sel ~t:bout ~e:cout));
+  ignore (Graph.add_po ~name:"eq" g (Word.equal g a b));
+  ignore (Graph.add_po ~name:"lt" g (Word.less_unsigned g a b));
+  ignore (Graph.add_po ~name:"para" g (Word.parity g a));
+  ignore (Graph.add_po ~name:"parb" g (Word.parity g b));
+  ignore (Graph.add_po ~name:"parf" g (Word.parity g f));
+  g

@@ -1,0 +1,22 @@
+(** ISCAS-85-class synthetic substitutes (DESIGN.md §2.1): circuits of the
+    same functional family and size class as the c-series benchmarks the
+    paper uses.  Names carry a [c<nnnn>] prefix to signal the class they
+    stand in for. *)
+
+val c880_like : unit -> Aig.Graph.t
+(** 8-bit ALU ([c880] is documented as an 8-bit ALU). *)
+
+val c1908_like : unit -> Aig.Graph.t
+(** (21,16) Hamming SEC encoder/corrector ([c1908] is a 16-bit SEC/DED). *)
+
+val c2670_like : unit -> Aig.Graph.t
+(** 12-bit adder + magnitude/equality comparator with control enables. *)
+
+val c3540_like : unit -> Aig.Graph.t
+(** 8-bit multi-function ALU with two banks selected by a mode bit. *)
+
+val c5315_like : unit -> Aig.Graph.t
+(** 9-bit ALU with dual result buses. *)
+
+val c7552_like : unit -> Aig.Graph.t
+(** 32-bit adder + comparator + parity network. *)

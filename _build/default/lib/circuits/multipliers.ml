@@ -1,0 +1,90 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+let partial_products g a b =
+  Array.map (fun bj -> Array.map (fun ai -> Graph.and_ g ai bj) a) b
+
+let array_mult ~width =
+  let g = Graph.create ~name:(Printf.sprintf "mtp%d" width) () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  let pp = partial_products g a b in
+  (* Row-by-row accumulation.  Invariant: before processing row [j],
+     [acc.(i)] carries weight [2^(j+i)]; afterwards [product.(0..j)] holds
+     the settled low bits. *)
+  let product = Array.make (2 * width) Graph.const0 in
+  product.(0) <- pp.(0).(0);
+  let acc =
+    ref (Array.init width (fun i -> if i + 1 < width then pp.(0).(i + 1) else Graph.const0))
+  in
+  for j = 1 to width - 1 do
+    let sum, cout = Word.ripple_add g pp.(j) !acc ~cin:Graph.const0 in
+    product.(j) <- sum.(0);
+    acc := Array.init width (fun i -> if i + 1 < width then sum.(i + 1) else cout)
+  done;
+  for i = 0 to width - 1 do
+    product.(width + i) <- !acc.(i)
+  done;
+  Word.output_word g "p" product;
+  g
+
+(* Dadda/Wallace-style column reduction using full/half adders until every
+   column has at most two bits, then one ripple adder. *)
+let reduce_columns g columns =
+  let width = Array.length columns in
+  let current = Array.map (fun l -> ref l) columns in
+  let busy () = Array.exists (fun c -> List.length !c > 2) current in
+  while busy () do
+    let next = Array.map (fun _ -> ref []) current in
+    for i = 0 to width - 1 do
+      let rec crunch bits =
+        match bits with
+        | a :: b :: c :: rest ->
+            let s, carry = Builder.full_adder g a b c in
+            next.(i) := s :: !(next.(i));
+            if i + 1 < width then next.(i + 1) := carry :: !(next.(i + 1));
+            crunch rest
+        | [ a; b ] when List.length !(current.(i)) > 2 ->
+            let s, carry = Builder.half_adder g a b in
+            next.(i) := s :: !(next.(i));
+            if i + 1 < width then next.(i + 1) := carry :: !(next.(i + 1))
+        | rest -> next.(i) := rest @ !(next.(i))
+      in
+      crunch !(current.(i))
+    done;
+    Array.iteri (fun i c -> current.(i) <- c) next
+  done;
+  let x = Array.make width Graph.const0 and y = Array.make width Graph.const0 in
+  Array.iteri
+    (fun i c ->
+      match !c with
+      | [] -> ()
+      | [ a ] -> x.(i) <- a
+      | [ a; b ] ->
+          x.(i) <- a;
+          y.(i) <- b
+      | _ -> assert false)
+    current;
+  let sum, _ = Word.ripple_add g x y ~cin:Graph.const0 in
+  sum
+
+let wallace_product g a b width =
+  let pp = partial_products g a b in
+  let columns = Array.make (2 * width) [] in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i bit -> columns.(i + j) <- bit :: columns.(i + j)) row)
+    pp;
+  reduce_columns g columns
+
+let wallace ~width =
+  let g = Graph.create ~name:(Printf.sprintf "wal%d" width) () in
+  let a = Word.input_word g "a" width in
+  let b = Word.input_word g "b" width in
+  Word.output_word g "p" (wallace_product g a b width);
+  g
+
+let square ~width =
+  let g = Graph.create ~name:(Printf.sprintf "square%d" width) () in
+  let a = Word.input_word g "a" width in
+  Word.output_word g "p" (wallace_product g a a width);
+  g

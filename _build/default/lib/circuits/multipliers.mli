@@ -1,0 +1,18 @@
+(** Unsigned multipliers: the [mtp8] (carry-save array) and [wal8]
+    (Wallace tree) benchmarks and the EPFL [mult]/[square] classes.
+
+    PIs [a0.., b0..], POs [p0 .. p2w-1] (LSB first). *)
+
+val array_mult : width:int -> Aig.Graph.t
+(** Carry-save array multiplier ([mtp<width>]). *)
+
+val wallace : width:int -> Aig.Graph.t
+(** Wallace-tree reduction with a final ripple adder ([wal<width>]). *)
+
+val square : width:int -> Aig.Graph.t
+(** Squarer: single operand, POs [p0 .. p2w-1]. *)
+
+val reduce_columns : Aig.Graph.t -> Aig.Graph.lit list array -> Word.word
+(** Wallace-style 3:2 column compression to two rows, then a ripple adder;
+    [columns.(i)] holds the weight-[2^i] partial bits.  Shared with the
+    composite arithmetic benchmarks. *)

@@ -1,0 +1,94 @@
+type klass = Iscas_arith | Epfl_control | Epfl_arith
+
+type entry = {
+  name : string;
+  klass : klass;
+  note : string;
+  build : unit -> Aig.Graph.t;
+}
+
+let exact = "exact architecture reconstruction"
+
+let all =
+  [
+    (* --- ISCAS & arithmetic (Tables IV, V) --- *)
+    { name = "alu4"; klass = Iscas_arith;
+      note = "74181-class 4-bit ALU as a flat PLA (MCNC alu4 is a PLA)";
+      build = (fun () -> Alu.alu4_pla ()) };
+    { name = "c880"; klass = Iscas_arith; note = "8-bit ALU stand-in";
+      build = (fun () -> Iscas_like.c880_like ()) };
+    { name = "c1908"; klass = Iscas_arith; note = "(21,16) Hamming SEC stand-in";
+      build = (fun () -> Iscas_like.c1908_like ()) };
+    { name = "c2670"; klass = Iscas_arith; note = "12-bit add/compare + control stand-in";
+      build = (fun () -> Iscas_like.c2670_like ()) };
+    { name = "c3540"; klass = Iscas_arith; note = "dual-bank 8-bit ALU stand-in";
+      build = (fun () -> Iscas_like.c3540_like ()) };
+    { name = "c5315"; klass = Iscas_arith; note = "9-bit ALU stand-in";
+      build = (fun () -> Iscas_like.c5315_like ()) };
+    { name = "c7552"; klass = Iscas_arith; note = "32-bit add/compare/parity stand-in";
+      build = (fun () -> Iscas_like.c7552_like ()) };
+    { name = "rca32"; klass = Iscas_arith; note = exact;
+      build = (fun () -> Adders.ripple_carry ~width:32) };
+    { name = "cla32"; klass = Iscas_arith; note = exact;
+      build = (fun () -> Adders.carry_lookahead ~width:32) };
+    { name = "ksa32"; klass = Iscas_arith; note = exact;
+      build = (fun () -> Adders.kogge_stone ~width:32) };
+    { name = "mtp8"; klass = Iscas_arith; note = exact ^ " (8x8 array multiplier)";
+      build = (fun () -> Multipliers.array_mult ~width:8) };
+    { name = "wal8"; klass = Iscas_arith; note = exact ^ " (8x8 Wallace multiplier)";
+      build = (fun () -> Multipliers.wallace ~width:8) };
+    (* --- EPFL random/control (Table VI) --- *)
+    { name = "arbiter"; klass = Epfl_control; note = "rotating arbiter, 32 req (EPFL: 256)";
+      build = (fun () -> Epfl_control.arbiter ()) };
+    { name = "cavlc"; klass = Epfl_control; note = "seeded table-lookup logic, 10 in / 11 out";
+      build = (fun () -> Epfl_control.cavlc ()) };
+    { name = "ctrl"; klass = Epfl_control; note = "instruction-decode block, 7 in / 26 out";
+      build = (fun () -> Epfl_control.ctrl ()) };
+    { name = "dec"; klass = Epfl_control; note = "8-to-256 decoder (EPFL-exact interface)";
+      build = (fun () -> Epfl_control.dec ()) };
+    { name = "i2c"; klass = Epfl_control; note = "bus-controller slice stand-in";
+      build = (fun () -> Epfl_control.i2c ()) };
+    { name = "int2float"; klass = Epfl_control; note = "11-bit int to 7-bit float (EPFL-exact interface)";
+      build = (fun () -> Epfl_control.int2float ()) };
+    { name = "mem_ctrl"; klass = Epfl_control; note = "memory-controller slice stand-in";
+      build = (fun () -> Epfl_control.mem_ctrl ()) };
+    { name = "priority"; klass = Epfl_control; note = "128-bit priority encoder (EPFL-exact size)";
+      build = (fun () -> Epfl_control.priority ()) };
+    { name = "router"; klass = Epfl_control; note = "range-match port router stand-in";
+      build = (fun () -> Epfl_control.router ()) };
+    { name = "voter"; klass = Epfl_control; note = "101-input majority (EPFL: 1001)";
+      build = (fun () -> Epfl_control.voter ()) };
+    (* --- EPFL arithmetic (Table VII) --- *)
+    { name = "adder"; klass = Epfl_arith; note = "32-bit (EPFL: 128)";
+      build = (fun () -> Epfl_arith.adder ()) };
+    { name = "shifter"; klass = Epfl_arith; note = "32-bit logical right barrel (EPFL: 128)";
+      build = (fun () -> Epfl_arith.shifter ()) };
+    { name = "divisor"; klass = Epfl_arith; note = "16-bit restoring divider (EPFL: 64)";
+      build = (fun () -> Epfl_arith.divisor ()) };
+    { name = "hyp"; klass = Epfl_arith;
+      note = "8-bit Euclidean norm (EPFL: 128); excluded from runs like the paper";
+      build = (fun () -> Epfl_arith.hyp ()) };
+    { name = "log2"; klass = Epfl_arith; note = "16-bit input (EPFL: 32)";
+      build = (fun () -> Epfl_arith.log2 ()) };
+    { name = "max"; klass = Epfl_arith; note = "4x16-bit (EPFL: 4x128)";
+      build = (fun () -> Epfl_arith.max_ ()) };
+    { name = "mult"; klass = Epfl_arith; note = "16x16 Wallace (EPFL: 64x64)";
+      build = (fun () -> Epfl_arith.mult ()) };
+    { name = "sine"; klass = Epfl_arith; note = "12-bit parabolic approximation (EPFL sin: 24)";
+      build = (fun () -> Epfl_arith.sine ()) };
+    { name = "sqrt"; klass = Epfl_arith; note = "32-bit radicand (EPFL: 128)";
+      build = (fun () -> Epfl_arith.sqrt_ ()) };
+    { name = "square"; klass = Epfl_arith; note = "16-bit (EPFL: 64)";
+      build = (fun () -> Epfl_arith.square ()) };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let of_klass k = List.filter (fun e -> e.klass = k) all
+
+let nmed_set = [ "cla32"; "ksa32"; "mtp8"; "rca32"; "wal8" ]
+
+let klass_to_string = function
+  | Iscas_arith -> "ISCAS & arithmetic"
+  | Epfl_control -> "EPFL random/control"
+  | Epfl_arith -> "EPFL arithmetic"

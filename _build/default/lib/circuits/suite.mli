@@ -1,0 +1,25 @@
+(** The benchmark catalog: every circuit of the paper's Table III, with the
+    substitution/scale notes of DESIGN.md §2. *)
+
+type klass =
+  | Iscas_arith  (** "ISCAS & arithmetic" group (Tables IV and V) *)
+  | Epfl_control  (** "EPFL random/control" group (Table VI) *)
+  | Epfl_arith  (** "EPFL arithmetic" group (Table VII) *)
+
+type entry = {
+  name : string;  (** the paper's benchmark name *)
+  klass : klass;
+  note : string;  (** substitution / scaling note *)
+  build : unit -> Aig.Graph.t;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val of_klass : klass -> entry list
+
+val nmed_set : string list
+(** The arithmetic circuits of the Table V (NMED) experiment. *)
+
+val klass_to_string : klass -> string

@@ -1,0 +1,92 @@
+module Graph = Aig.Graph
+module Builder = Aig.Builder
+
+type word = Graph.lit array
+
+let input_word g name width =
+  Array.init width (fun i -> Graph.add_pi ~name:(Printf.sprintf "%s%d" name i) g)
+
+let output_word g name w =
+  Array.iteri
+    (fun i l -> ignore (Graph.add_po ~name:(Printf.sprintf "%s%d" name i) g l))
+    w
+
+let const_word value ~width =
+  Array.init width (fun i ->
+      if (value lsr i) land 1 = 1 then Graph.const1 else Graph.const0)
+
+let zero ~width = const_word 0 ~width
+
+let check_widths a b = if Array.length a <> Array.length b then invalid_arg "Word: width mismatch"
+
+let ripple_add g a b ~cin =
+  check_widths a b;
+  let carry = ref cin in
+  let sum =
+    Array.init (Array.length a) (fun i ->
+        let s, c = Builder.full_adder g a.(i) b.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let not_word a = Array.map Graph.lit_not a
+
+let subtract g a b =
+  let sum, carry = ripple_add g a (not_word b) ~cin:Graph.const1 in
+  (sum, carry)
+
+let negate g a =
+  let sum, _ = ripple_add g (not_word a) (const_word 1 ~width:(Array.length a)) ~cin:Graph.const0 in
+  sum
+
+let equal g a b =
+  check_widths a b;
+  Builder.and_list g (Array.to_list (Array.map2 (Builder.xnor g) a b))
+
+let less_unsigned g a b =
+  check_widths a b;
+  (* a < b  <=>  a - b borrows  <=>  NOT carry_out of a + ~b + 1. *)
+  let _, carry = subtract g a b in
+  Graph.lit_not carry
+
+let mux_word g ~sel ~t ~e =
+  check_widths t e;
+  Array.init (Array.length t) (fun i -> Builder.mux g ~sel ~t:t.(i) ~e:e.(i))
+
+let and_word g a b =
+  check_widths a b;
+  Array.map2 (Graph.and_ g) a b
+
+let or_word g a b =
+  check_widths a b;
+  Array.map2 (Builder.or_ g) a b
+
+let xor_word g a b =
+  check_widths a b;
+  Array.map2 (Builder.xor g) a b
+
+let shift_by_fixed w ~left ~k =
+  let n = Array.length w in
+  Array.init n (fun i ->
+      let src = if left then i - k else i + k in
+      if src < 0 || src >= n then Graph.const0 else w.(src))
+
+let barrel g w ~amount ~left =
+  let result = ref w in
+  Array.iteri
+    (fun stage sel ->
+      let k = 1 lsl stage in
+      if k < 2 * Array.length w then
+        result := mux_word g ~sel ~t:(shift_by_fixed !result ~left ~k) ~e:!result)
+    amount;
+  !result
+
+let shift_left g w ~amount = barrel g w ~amount ~left:true
+
+let shift_right g w ~amount = barrel g w ~amount ~left:false
+
+let resize w width =
+  Array.init width (fun i -> if i < Array.length w then w.(i) else Graph.const0)
+
+let parity g w = Aig.Builder.xor_list g (Array.to_list w)

@@ -1,0 +1,46 @@
+(** Word-level construction helpers: little-endian literal arrays (index 0 =
+    LSB), the building blocks of every generated benchmark. *)
+
+type word = Aig.Graph.lit array
+
+val input_word : Aig.Graph.t -> string -> int -> word
+(** [input_word g "a" 4] adds PIs [a0..a3]. *)
+
+val output_word : Aig.Graph.t -> string -> word -> unit
+(** Adds POs [<name>0 ..] LSB first — the encoding {!Errest.Metrics} expects. *)
+
+val const_word : int -> width:int -> word
+(** Constant literals of the given value. *)
+
+val zero : width:int -> word
+
+val ripple_add : Aig.Graph.t -> word -> word -> cin:Aig.Graph.lit -> word * Aig.Graph.lit
+(** [(sum, carry_out)]; operands must share a width. *)
+
+val subtract : Aig.Graph.t -> word -> word -> word * Aig.Graph.lit
+(** Two's complement [a - b]; the carry out is the NOT-borrow. *)
+
+val negate : Aig.Graph.t -> word -> word
+
+val equal : Aig.Graph.t -> word -> word -> Aig.Graph.lit
+
+val less_unsigned : Aig.Graph.t -> word -> word -> Aig.Graph.lit
+(** [a < b], unsigned. *)
+
+val mux_word : Aig.Graph.t -> sel:Aig.Graph.lit -> t:word -> e:word -> word
+
+val and_word : Aig.Graph.t -> word -> word -> word
+val or_word : Aig.Graph.t -> word -> word -> word
+val xor_word : Aig.Graph.t -> word -> word -> word
+val not_word : word -> word
+
+val shift_left : Aig.Graph.t -> word -> amount:word -> word
+(** Barrel shifter; [amount] is a little-endian shift count (any width);
+    vacated positions fill with 0; result has the operand's width. *)
+
+val shift_right : Aig.Graph.t -> word -> amount:word -> word
+
+val resize : word -> int -> word
+(** Truncate or zero-extend. *)
+
+val parity : Aig.Graph.t -> word -> Aig.Graph.lit

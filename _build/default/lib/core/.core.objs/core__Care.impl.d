@@ -1,0 +1,1 @@
+lib/core/care.ml: Array Logic Option

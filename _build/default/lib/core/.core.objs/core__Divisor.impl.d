@@ -1,0 +1,1 @@
+lib/core/divisor.ml: Aig Array Hashtbl List

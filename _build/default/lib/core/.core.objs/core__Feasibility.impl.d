@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Array Care

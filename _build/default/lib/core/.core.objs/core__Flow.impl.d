@@ -1,0 +1,1 @@
+lib/core/flow.ml: Aig Array Config Errest Lac List Logic Logs Sim Sys

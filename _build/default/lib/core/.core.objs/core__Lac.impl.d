@@ -1,0 +1,1 @@
+lib/core/lac.ml: Aig Array Care Config Divisor Feasibility Format Hashtbl List Logic Option Resub

@@ -1,0 +1,1 @@
+lib/core/lac.mli: Aig Config Format Logic

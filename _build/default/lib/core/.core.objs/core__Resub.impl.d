@@ -1,0 +1,1 @@
+lib/core/resub.ml: Array Care Logic

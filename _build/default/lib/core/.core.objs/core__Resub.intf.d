@@ -1,0 +1,1 @@
+lib/core/resub.mli: Care Logic

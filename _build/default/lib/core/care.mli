@@ -1,0 +1,38 @@
+(** Approximate care sets from logic simulation (Section III-A).
+
+    After simulating [rounds] random PI patterns, the approximate care set of
+    node [v] at divisors [g] is the set of value tuples observed across the
+    divisor signatures; each tuple is tagged with the value(s) [v] took on
+    the rounds producing it. *)
+
+type entry =
+  | Unseen  (** tuple never observed: don't-care for the resubstitution *)
+  | Value of bool  (** tuple observed with a unique target value *)
+  | Conflict  (** tuple observed with both target values: infeasible *)
+
+type t = {
+  divisors : int array;
+  table : entry array;  (** index = divisor-value tuple, LSB = divisor 0 *)
+  care_count : int;  (** observed distinct tuples *)
+}
+
+val scan :
+  ?mask:Logic.Bitvec.t ->
+  sigs:Logic.Bitvec.t array ->
+  node:int ->
+  divisors:int array ->
+  rounds:int ->
+  unit ->
+  t
+(** [sigs] are per-node signatures of at least [rounds] bits (typically from
+    {!Sim.Engine.simulate} on the care pattern set).  At most
+    {!Logic.Truth.max_vars} divisors.
+
+    [mask] restricts the scan to the rounds whose bit is set: with an
+    observability mask (see {!Errest.Observability}) this yields the
+    ODC-aware approximate care set — rounds on which the target's value
+    cannot reach an output impose no constraint (an extension beyond the
+    paper, off by default; see DESIGN.md §5). *)
+
+val care_tuples : t -> int list
+(** Observed tuples, ascending. *)

@@ -1,0 +1,48 @@
+type resyn_level = No_resyn | Light | Compress2
+
+type t = {
+  metric : Errest.Metrics.kind;
+  threshold : float;
+  sim_rounds : int;
+  lac_limit : int;
+  patience : int;
+  scale : float;
+  min_rounds : int;
+  eval_rounds : int;
+  max_tfi_divisors : int;
+  seed : int;
+  resyn : resyn_level;
+  max_iters : int;
+  margin : float;
+  max_seconds : float;
+  input_probs : float array option;
+  max_depth_growth : float;
+  use_odc : bool;
+}
+
+let default ~metric ~threshold =
+  {
+    metric;
+    threshold;
+    sim_rounds = 32;
+    lac_limit = 1;
+    patience = 5;
+    scale = 0.9;
+    min_rounds = 4;
+    eval_rounds = 4096;
+    max_tfi_divisors = 5000;
+    seed = 1;
+    resyn = Compress2;
+    max_iters = 10_000;
+    margin = 1.0;
+    max_seconds = infinity;
+    input_probs = None;
+    max_depth_growth = 1.3;
+    use_odc = false;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d"
+    (Errest.Metrics.kind_to_string t.metric)
+    t.threshold t.sim_rounds t.lac_limit t.patience t.scale t.eval_rounds t.seed

@@ -1,0 +1,37 @@
+(** ALSRAC flow parameters (Algorithm 3 inputs plus engineering knobs). *)
+
+type resyn_level = No_resyn | Light | Compress2
+
+type t = {
+  metric : Errest.Metrics.kind;  (** error metric of the constraint *)
+  threshold : float;  (** error threshold [E_t] *)
+  sim_rounds : int;  (** initial simulation round [N] (paper: 32) *)
+  lac_limit : int;  (** per-node LAC limit [L] (paper: 1) *)
+  patience : int;  (** controlling parameter [t] (paper: 5) *)
+  scale : float;  (** scaling factor [r] (paper: 0.9) *)
+  min_rounds : int;  (** lower bound on [N] when shrinking *)
+  eval_rounds : int;  (** Monte-Carlo sample for LAC error estimation *)
+  max_tfi_divisors : int;  (** cap on TFI nodes scanned per target node *)
+  seed : int;  (** PRNG seed: fixes the whole run *)
+  resyn : resyn_level;  (** Algorithm 3 line 9 optimization strength *)
+  max_iters : int;  (** safety cap on accepted LACs *)
+  margin : float;  (** accept LACs with error <= margin * threshold *)
+  max_seconds : float;  (** wall-clock budget; [infinity] = unbounded *)
+  input_probs : float array option;
+      (** per-PI one-probabilities (Section III-A's user-specified input
+          distribution); [None] = uniform *)
+  max_depth_growth : float;
+      (** reject LACs that leave the circuit deeper than this factor times
+          the original depth (the paper's results implicitly preserve
+          delay); [infinity] disables the guard *)
+  use_odc : bool;
+      (** ODC-aware care sets: mask out care-simulation rounds on which the
+          target's value is (heuristically) unobservable at the outputs — an
+          extension beyond the paper, benched as an ablation *)
+}
+
+val default : metric:Errest.Metrics.kind -> threshold:float -> t
+(** Paper defaults: [N = 32], [L = 1], [t = 5], [r = 0.9]; evaluation sample
+    4096 rounds, [Compress2] inter-iteration optimization, seed fixed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+module Graph = Aig.Graph
+
+let fanin_nodes g v =
+  let n0 = Graph.node_of (Graph.fanin0 g v) in
+  let n1 = Graph.node_of (Graph.fanin1 g v) in
+  if n0 = n1 then [ n0 ] else [ n0; n1 ]
+
+let normalize set =
+  let arr = Array.of_list set in
+  Array.sort compare arr;
+  arr
+
+let iter_sets g ~max_tfi v f =
+  if not (Graph.is_and g v) then ()
+  else begin
+    let fis = fanin_nodes g v in
+    let tfi = Aig.Cone.tfi_nodes g v in
+    let tfi =
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      take max_tfi tfi
+    in
+    let seen = Hashtbl.create 64 in
+    let exception Stop in
+    let emit set =
+      let arr = normalize set in
+      if not (Hashtbl.mem seen arr) then begin
+        Hashtbl.replace seen arr ();
+        match f arr with `Stop -> raise Stop | `Continue -> ()
+      end
+    in
+    try
+      List.iter
+        (fun n ->
+          let a = List.filter (fun x -> x <> n) fis in
+          emit a;
+          List.iter (fun u -> if u <> v && not (List.mem u a) then emit (u :: a)) tfi)
+        fis
+    with Stop -> ()
+  end
+
+let select g ~max_tfi v =
+  let acc = ref [] in
+  iter_sets g ~max_tfi v (fun set ->
+      acc := set :: !acc;
+      `Continue);
+  List.rev !acc

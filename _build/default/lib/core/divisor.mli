@@ -1,0 +1,21 @@
+(** Divisor-set selection (Algorithm 1).
+
+    For a target node [V] with fanin set [FI], the candidate divisor sets
+    are, in order: each [FI \ {n}] (drop one fanin), then each
+    [(FI \ {n}) + {u}] for every node [u] of [V]'s TFI cone taken in
+    ascending logic-level order (replace a fanin by a possibly remote
+    signal).  Duplicate sets are suppressed.  The enumeration is lazy via a
+    callback so that Algorithm 2's per-node LAC limit can stop it early. *)
+
+val iter_sets :
+  Aig.Graph.t ->
+  max_tfi:int ->
+  int ->
+  (int array -> [ `Stop | `Continue ]) ->
+  unit
+(** [iter_sets g ~max_tfi v f] calls [f] on each divisor set (array of node
+    ids, sorted) until [f] answers [`Stop] or the sets are exhausted.  At
+    most [max_tfi] TFI nodes are considered for the replacement step. *)
+
+val select : Aig.Graph.t -> max_tfi:int -> int -> int array list
+(** Eager version (mainly for tests): all sets in enumeration order. *)

@@ -1,0 +1,6 @@
+let ok (care : Care.t) =
+  Array.for_all (function Care.Conflict -> false | Care.Unseen | Care.Value _ -> true)
+    care.Care.table
+
+let check ~sigs ~node ~divisors ~rounds =
+  ok (Care.scan ~sigs ~node ~divisors ~rounds ())

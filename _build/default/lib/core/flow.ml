@@ -1,0 +1,242 @@
+module Graph = Aig.Graph
+module Bitvec = Logic.Bitvec
+
+type event = {
+  iteration : int;
+  target : int;
+  est_error : float;
+  ands_after : int;
+  rounds : int;
+}
+
+type stop_reason = Budget_exhausted | Stalled | Max_iters | Emptied | Timed_out
+
+type report = {
+  input_ands : int;
+  output_ands : int;
+  applied : int;
+  final_est_error : float;
+  final_rounds : int;
+  runtime_s : float;
+  stop_reason : stop_reason;
+  events : event list;
+}
+
+let log_src = Logs.Src.create "alsrac.flow" ~doc:"ALSRAC flow progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let optimize (config : Config.t) g =
+  match config.resyn with
+  | Config.No_resyn -> Graph.compact g
+  | Config.Light -> Aig.Resyn.light g
+  | Config.Compress2 -> Aig.Resyn.compress2 g
+
+(* Pattern generation honouring the configured input distribution. *)
+let gen_patterns rng (config : Config.t) ~npis ~len =
+  match config.input_probs with
+  | None -> Sim.Patterns.random rng ~npis ~len
+  | Some probs -> Sim.Patterns.weighted rng ~probs ~len
+
+(* Evaluation patterns: exhaustive when the input space is small enough and
+   the distribution is uniform, Monte-Carlo otherwise. *)
+let eval_patterns rng (config : Config.t) npis =
+  if
+    config.input_probs = None
+    && npis <= Sim.Patterns.exhaustive_limit
+    && 1 lsl npis <= config.eval_rounds
+  then Sim.Patterns.exhaustive ~npis
+  else gen_patterns rng config ~npis ~len:config.eval_rounds
+
+let run ~(config : Config.t) g0 =
+  let t_start = Sys.time () in
+  let rng = Logic.Rng.create config.seed in
+  let original = Graph.compact g0 in
+  let npis = Graph.num_pis original in
+  let eval_pats = eval_patterns (Logic.Rng.split rng) config npis in
+  let golden = Sim.Engine.simulate_pos original eval_pats in
+  let g = ref (optimize config original) in
+  let depth_limit =
+    if config.max_depth_growth = infinity then max_int
+    else
+      int_of_float
+        (ceil (config.max_depth_growth *. float_of_int (max 1 (Aig.Topo.depth original))))
+  in
+  let rounds = ref config.sim_rounds in
+  let patience = ref 0 in
+  let shrinks_at_floor = ref 0 in
+  let applied = ref 0 in
+  let iteration = ref 0 in
+  let events = ref [] in
+  let last_error = ref 0.0 in
+  let finished = ref false in
+  let stop_reason = ref Max_iters in
+  (* Under Compress2, the full pipeline runs every tenth accepted LAC and at
+     the end; the cheap sweep+balance runs in between.  This keeps the large
+     arithmetic circuits tractable without giving up the final quality. *)
+  let accepts_since_full = ref 0 in
+  let optimize_step replaced =
+    match config.resyn with
+    | Config.No_resyn -> Graph.compact replaced
+    | Config.Light -> Aig.Resyn.light replaced
+    | Config.Compress2 ->
+        incr accepts_since_full;
+        if !accepts_since_full >= 10 then begin
+          accepts_since_full := 0;
+          Aig.Resyn.compress2 replaced
+        end
+        else Aig.Resyn.light replaced
+  in
+  while
+    (not !finished) && !applied < config.max_iters
+    && Sys.time () -. t_start < config.max_seconds
+  do
+    incr iteration;
+    let care_pats = gen_patterns rng config ~npis ~len:!rounds in
+    let care_sigs = Sim.Engine.simulate !g care_pats in
+    let obs =
+      if config.use_odc then Some (Errest.Observability.masks !g ~sigs:care_sigs)
+      else None
+    in
+    let lacs = Lac.generate ?obs !g ~config ~sigs:care_sigs ~rounds:!rounds in
+    if lacs = [] then begin
+      (* Algorithm 3 line 10: only after [t] consecutive empty iterations is
+         the care set shrunk; fresh patterns alone may unblock us. *)
+      incr patience;
+      if !patience >= config.patience then begin
+        patience := 0;
+        if !rounds > config.min_rounds then
+          rounds := max config.min_rounds (int_of_float (float_of_int !rounds *. config.scale))
+        else begin
+          incr shrinks_at_floor;
+          if !shrinks_at_floor > 3 then begin
+            stop_reason := Stalled;
+            finished := true
+          end
+        end
+      end
+    end
+    else begin
+      let base_sigs = Sim.Engine.simulate !g eval_pats in
+      let batch = Errest.Batch.create !g ~metric:config.metric ~golden ~base:base_sigs in
+      let scored =
+        List.map
+          (fun (lac : Lac.t) ->
+            let pos_sigs = Array.map (fun d -> base_sigs.(d)) lac.Lac.divisors in
+            let new_sig = Logic.Cover.eval_sigs lac.Lac.cover ~pos_sigs in
+            let err = Errest.Batch.candidate_error batch ~node:lac.Lac.target ~new_sig in
+            (err, lac))
+          lacs
+      in
+      (* Best LAC = smallest induced error, ties broken by estimated gain
+         (Algorithm 3 line 6).  The estimate can still be optimistic when
+         the factored form re-shares with live logic, so walk the ranking
+         and accept the first candidate that actually shrinks the graph. *)
+      let ranked =
+        List.sort
+          (fun (e1, (l1 : Lac.t)) (e2, (l2 : Lac.t)) ->
+            let c = compare e1 e2 in
+            if c <> 0 then c else compare l2.Lac.gain l1.Lac.gain)
+          scored
+      in
+      let rec try_apply ~skipped = function
+        | [] -> `No_progress
+        | (err, _) :: _ when err > config.threshold *. config.margin ->
+            (* Smallest remaining error exceeds the budget.  If that holds
+               for the very best candidate, terminate (Algorithm 3 line 7);
+               if we only got here by skipping no-op candidates, let fresh
+               patterns try again first. *)
+            if skipped then `No_progress else `Over_budget
+        | (err, (lac : Lac.t)) :: rest ->
+            let replaced =
+              Graph.rebuild
+                ~replace:(fun id ->
+                  if id = lac.Lac.target then Some (Lac.replacement lac) else None)
+                !g
+            in
+            (* Cheap progress check on the raw rebuild; the (expensive)
+               re-optimization runs only on accepted candidates and can only
+               shrink further. *)
+            if
+              Graph.num_ands replaced < Graph.num_ands !g
+              && Aig.Topo.depth replaced <= depth_limit
+              &&
+              (* The optimizer itself may deepen (refactor trades depth for
+                 area); guard the graph we would actually keep. *)
+              (let optimized = optimize_step replaced in
+               if Aig.Topo.depth optimized <= depth_limit then begin
+                 g := optimized;
+                 true
+               end
+               else false)
+            then begin
+              incr applied;
+              last_error := err;
+              events :=
+                {
+                  iteration = !iteration;
+                  target = lac.Lac.target;
+                  est_error = err;
+                  ands_after = Graph.num_ands !g;
+                  rounds = !rounds;
+                }
+                :: !events;
+              Log.debug (fun m ->
+                  m "iter %d: applied LAC on node %d, err %.5f, ands %d" !iteration
+                    lac.Lac.target err (Graph.num_ands !g));
+              `Applied
+            end
+            else try_apply ~skipped:true rest
+      in
+      match try_apply ~skipped:false ranked with
+      | `Applied ->
+          patience := 0;
+          if Graph.num_ands !g = 0 then begin
+            stop_reason := Emptied;
+            finished := true
+          end
+      | `Over_budget ->
+          stop_reason := Budget_exhausted;
+          finished := true
+      | `No_progress ->
+          (* All candidates were no-ops: treat like an empty candidate set
+             so the dynamic-N schedule can unblock us. *)
+          incr patience;
+          if !patience >= config.patience then begin
+            patience := 0;
+            if !rounds > config.min_rounds then
+              rounds :=
+                max config.min_rounds (int_of_float (float_of_int !rounds *. config.scale))
+            else begin
+              incr shrinks_at_floor;
+              if !shrinks_at_floor > 3 then begin
+                stop_reason := Stalled;
+                finished := true
+              end
+            end
+          end
+    end
+  done;
+  if (not !finished) && !applied >= config.max_iters then stop_reason := Max_iters;
+  if Sys.time () -. t_start >= config.max_seconds then stop_reason := Timed_out;
+  (match config.resyn with
+  | Config.Compress2 ->
+      let final = Aig.Resyn.compress2 !g in
+      if
+        Graph.num_ands final < Graph.num_ands !g
+        && Aig.Topo.depth final <= depth_limit
+      then g := final
+  | Config.No_resyn | Config.Light -> ());
+  let final_approx = Sim.Engine.simulate_pos !g eval_pats in
+  let final_err = Errest.Metrics.measure config.metric ~golden ~approx:final_approx in
+  ( !g,
+    {
+      input_ands = Graph.num_ands original;
+      output_ands = Graph.num_ands !g;
+      applied = !applied;
+      final_est_error = final_err;
+      final_rounds = !rounds;
+      runtime_s = Sys.time () -. t_start;
+      stop_reason = !stop_reason;
+      events = List.rev !events;
+    } )

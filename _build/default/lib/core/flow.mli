@@ -1,0 +1,38 @@
+(** The ALSRAC flow (Algorithm 3).
+
+    Iteratively: simulate fresh random care patterns, generate LAC
+    candidates, score every candidate with batch error estimation against
+    the ORIGINAL circuit, apply the best one if it respects the error
+    threshold, re-optimize with traditional synthesis, and dynamically shrink
+    the simulation round [N] whenever no candidate exists for [t] consecutive
+    iterations. *)
+
+type event = {
+  iteration : int;
+  target : int;  (** node replaced *)
+  est_error : float;  (** sampled error after the change *)
+  ands_after : int;  (** AND count after change + re-optimization *)
+  rounds : int;  (** care-simulation rounds [N] used this iteration *)
+}
+
+type stop_reason =
+  | Budget_exhausted  (** best candidate error exceeded the threshold *)
+  | Stalled  (** no productive candidate at the minimum simulation round *)
+  | Max_iters
+  | Emptied  (** the circuit shrank to constants *)
+  | Timed_out  (** the [max_seconds] wall-clock budget ran out *)
+
+type report = {
+  input_ands : int;
+  output_ands : int;
+  applied : int;  (** number of accepted LACs *)
+  final_est_error : float;  (** error on the flow's evaluation sample *)
+  final_rounds : int;  (** value of [N] at exit *)
+  runtime_s : float;  (** CPU seconds *)
+  stop_reason : stop_reason;
+  events : event list;  (** in application order *)
+}
+
+val run : config:Config.t -> Aig.Graph.t -> Aig.Graph.t * report
+(** Returns the approximate circuit (same PI/PO interface) and the run
+    report.  The input graph is not modified. *)

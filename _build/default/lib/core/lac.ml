@@ -1,0 +1,88 @@
+module Graph = Aig.Graph
+
+type t = {
+  target : int;
+  divisors : int array;
+  cover : Logic.Cover.t;
+  expr : Logic.Factor.expr;
+  gain : int;
+}
+
+(* AND nodes of the target's MFFC that actually die when the target is
+   replaced by a function of [divisors]: a divisor inside the MFFC keeps
+   itself and its in-MFFC transitive fanin alive.  [in_mffc] is the node's
+   membership table, built once per target and shared across its (many)
+   divisor sets. *)
+let true_savings g ~in_mffc ~mffc_size divisors =
+  (* Fast path: divisors outside the MFFC keep nothing alive. *)
+  if Array.for_all (fun d -> not (Hashtbl.mem in_mffc d)) divisors then mffc_size
+  else begin
+    let kept = Hashtbl.create 8 in
+    let rec keep id =
+      if Hashtbl.mem in_mffc id && not (Hashtbl.mem kept id) then begin
+        Hashtbl.replace kept id ();
+        keep (Graph.node_of (Graph.fanin0 g id));
+        keep (Graph.node_of (Graph.fanin1 g id))
+      end
+    in
+    Array.iter keep divisors;
+    mffc_size - Hashtbl.length kept
+  end
+
+(* Derivation (Espresso + factoring) is the expensive step, so first collect
+   every feasible divisor set with its cheap savings bound, then derive
+   functions only for the most promising few. *)
+let derivations_per_node = 8
+
+let generate ?obs g ~(config : Config.t) ~sigs ~rounds =
+  let fanouts = Aig.Topo.fanout_counts g in
+  let acc = ref [] in
+  Graph.iter_ands g (fun v ->
+      if fanouts.(v) > 0 then begin
+        let mffc = Aig.Cone.mffc g ~fanouts v in
+        let mffc_size = List.length mffc in
+        let in_mffc = Hashtbl.create 16 in
+        List.iter (fun n -> Hashtbl.replace in_mffc n ()) mffc;
+        let feasible = ref [] in
+        let mask = Option.map (fun o -> o.(v)) obs in
+        Divisor.iter_sets g ~max_tfi:config.max_tfi_divisors v (fun divisors ->
+            let care = Care.scan ?mask ~sigs ~node:v ~divisors ~rounds () in
+            if Feasibility.ok care then
+              feasible :=
+                (true_savings g ~in_mffc ~mffc_size divisors, divisors, care)
+                :: !feasible;
+            `Continue);
+        let ranked =
+          List.stable_sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1) (List.rev !feasible)
+        in
+        let found = ref 0 and derived = ref 0 in
+        let candidates = ref [] in
+        List.iter
+          (fun (savings, divisors, care) ->
+            if !derived < derivations_per_node && !found < config.lac_limit
+               && savings >= 1
+            then begin
+              incr derived;
+              let cover = Resub.derive care in
+              let expr = Resub.expr_of_cover cover in
+              let gain = savings - Logic.Factor.and2_cost expr in
+              if gain >= 0 then begin
+                incr found;
+                candidates := { target = v; divisors; cover; expr; gain } :: !candidates
+              end
+            end)
+          ranked;
+        acc := List.rev_append !candidates !acc
+      end);
+  List.rev !acc
+
+let replacement lac = Graph.Replace_expr (lac.expr, lac.divisors)
+
+let pp ppf lac =
+  Format.fprintf ppf "node %d <- %a over [%a] (gain %d)" lac.target Logic.Factor.pp
+    lac.expr
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (Array.to_list lac.divisors)
+    lac.gain

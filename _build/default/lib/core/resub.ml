@@ -1,0 +1,18 @@
+let tables (care : Care.t) =
+  let k = Array.length care.Care.divisors in
+  let on = ref (Logic.Truth.const0 k) and dc = ref (Logic.Truth.const0 k) in
+  Array.iteri
+    (fun tuple entry ->
+      match entry with
+      | Care.Value true -> on := Logic.Truth.set !on tuple true
+      | Care.Value false -> ()
+      | Care.Unseen -> dc := Logic.Truth.set !dc tuple true
+      | Care.Conflict -> invalid_arg "Resub.tables: infeasible care scan")
+    care.Care.table;
+  (!on, !dc)
+
+let derive care =
+  let on, dc = tables care in
+  Logic.Espresso.minimize ~on ~dc
+
+let expr_of_cover = Logic.Factor.of_cover

@@ -1,0 +1,17 @@
+(** Derivation of approximate resubstitution functions (Section III-B3).
+
+    From a feasible care scan, the truth table over the divisors has the
+    observed target value on each care tuple and a don't-care elsewhere; an
+    ISOP is computed on that interval (Espresso-minimized) and factored into
+    an expression over the divisors, ready for insertion by
+    {!Aig.Graph.rebuild}. *)
+
+val tables : Care.t -> Logic.Truth.t * Logic.Truth.t
+(** [(on, dc)] truth tables over the divisor variables.  Raises
+    [Invalid_argument] if the scan has a conflict. *)
+
+val derive : Care.t -> Logic.Cover.t
+(** Minimized ISOP cover of the resubstitution function. *)
+
+val expr_of_cover : Logic.Cover.t -> Logic.Factor.expr
+(** Factored form for AIG insertion. *)

@@ -1,0 +1,1 @@
+lib/errest/batch.ml: Aig Array Hashtbl Logic Metrics Option Sim

@@ -1,0 +1,1 @@
+lib/errest/batch.mli: Aig Logic Metrics

@@ -1,0 +1,1 @@
+lib/errest/certify.mli:

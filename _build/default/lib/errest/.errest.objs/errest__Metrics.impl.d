@@ -1,0 +1,1 @@
+lib/errest/metrics.ml: Aig Array Logic Sim

@@ -1,0 +1,1 @@
+lib/errest/metrics.mli: Aig Logic

@@ -1,0 +1,1 @@
+lib/errest/observability.ml: Aig Array Logic

@@ -1,0 +1,1 @@
+lib/errest/observability.mli: Aig Logic

@@ -1,0 +1,105 @@
+module Bitvec = Logic.Bitvec
+module Graph = Aig.Graph
+
+type t = {
+  g : Graph.t;
+  metric : Metrics.kind;
+  golden : Bitvec.t array;
+  base : Bitvec.t array;
+  tfo_cache : (int, bool array) Hashtbl.t;
+  prepared : Metrics.prepared;
+  mutable base_err : float option;
+  (* Scratch signatures reused across candidates: [stamps.(id) = gen] marks
+     a buffer as holding this candidate's recomputed value. *)
+  bufs : Bitvec.t option array;
+  stamps : int array;
+  mutable gen : int;
+}
+
+let create g ~metric ~golden ~base =
+  if Array.length base <> Graph.num_nodes g then
+    invalid_arg "Batch.create: base signatures must cover every node";
+  {
+    g;
+    metric;
+    golden;
+    base;
+    tfo_cache = Hashtbl.create 64;
+    prepared = Metrics.prepare metric ~golden;
+    base_err = None;
+    bufs = Array.make (Graph.num_nodes g) None;
+    stamps = Array.make (Graph.num_nodes g) 0;
+    gen = 0;
+  }
+
+let graph t = t.g
+
+let base_error t =
+  match t.base_err with
+  | Some e -> e
+  | None ->
+      let approx = Sim.Engine.po_values t.g t.base in
+      let e = Metrics.measure t.metric ~golden:t.golden ~approx in
+      t.base_err <- Some e;
+      e
+
+let tfo t node =
+  match Hashtbl.find_opt t.tfo_cache node with
+  | Some mask -> mask
+  | None ->
+      let mask = Aig.Cone.tfo_mask t.g node in
+      Hashtbl.replace t.tfo_cache node mask;
+      mask
+
+let word_mask = Bitvec.word_mask
+
+let and_words dst a b ma mb =
+  let dw = Bitvec.unsafe_words dst
+  and aw = Bitvec.unsafe_words a
+  and bw = Bitvec.unsafe_words b in
+  for i = 0 to Array.length dw - 1 do
+    dw.(i) <- (aw.(i) lxor ma) land (bw.(i) lxor mb)
+  done;
+  Bitvec.mask_tail dst
+
+let phase_mask l = if Graph.is_compl l then word_mask else 0
+
+(* TFO re-simulation with buffer reuse (same computation as
+   {!Sim.Engine.resimulate_tfo}, minus the per-call allocations). *)
+let candidate_pos t ~node ~new_sig =
+  let g = t.g in
+  let len = Bitvec.length new_sig in
+  let tfo = tfo t node in
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  let buf_for id =
+    match t.bufs.(id) with
+    | Some v when Bitvec.length v = len -> v
+    | _ ->
+        let v = Bitvec.create len in
+        t.bufs.(id) <- Some v;
+        v
+  in
+  t.stamps.(node) <- gen;
+  let node_buf = buf_for node in
+  Bitvec.blit new_sig node_buf;
+  let sig_of id = if t.stamps.(id) = gen then Option.get t.bufs.(id) else t.base.(id) in
+  Graph.iter_ands g (fun id ->
+      if tfo.(id) && id <> node then begin
+        let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+        let s0 = sig_of (Graph.node_of f0) and s1 = sig_of (Graph.node_of f1) in
+        let dst = buf_for id in
+        and_words dst s0 s1 (phase_mask f0) (phase_mask f1);
+        t.stamps.(id) <- gen
+      end);
+  Array.init (Graph.num_pos g) (fun i ->
+      let l = Graph.po_lit g i in
+      let v = sig_of (Graph.node_of l) in
+      if Graph.is_compl l then Bitvec.lognot v else Bitvec.copy v)
+
+let candidate_error t ~node ~new_sig =
+  if Bitvec.equal new_sig t.base.(node) then base_error t
+  else begin
+    let approx = candidate_pos t ~node ~new_sig in
+    Metrics.measure_prepared t.prepared ~approx
+  end

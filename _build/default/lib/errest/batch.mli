@@ -1,0 +1,35 @@
+(** Batch statistical error estimation for candidate changes (Su et al.,
+    DAC 2018 — reference [13] of the paper).
+
+    One base simulation of the current circuit is shared by all candidates;
+    each candidate supplies only the new signature of its target node, and
+    the estimator re-simulates the node's transitive fanout cone to obtain
+    the candidate's exact sampled error against the golden outputs.  TFO
+    masks are cached per target node, so evaluating many candidates on the
+    same node costs one mask computation. *)
+
+type t
+
+val create :
+  Aig.Graph.t ->
+  metric:Metrics.kind ->
+  golden:Logic.Bitvec.t array ->
+  base:Logic.Bitvec.t array ->
+  t
+(** [create g ~metric ~golden ~base]: [golden] are the PO signatures of the
+    ORIGINAL circuit on the evaluation pattern set, [base] the node
+    signatures of the CURRENT circuit [g] on the same set. *)
+
+val graph : t -> Aig.Graph.t
+
+val base_error : t -> float
+(** Error of the current circuit itself (no change applied). *)
+
+val candidate_error : t -> node:int -> new_sig:Logic.Bitvec.t -> float
+(** Sampled error of the circuit after forcing [node]'s signature to
+    [new_sig].  If the signature equals the base one, this is
+    [base_error]. *)
+
+val candidate_pos : t -> node:int -> new_sig:Logic.Bitvec.t -> Logic.Bitvec.t array
+(** PO signatures under the override (for callers needing more than the
+    scalar error). *)

@@ -1,0 +1,22 @@
+(** Statistical certification of sampled error measurements.
+
+    Liu & Zhang's method (reference [5]) certifies that an approximate
+    circuit meets its error bound with a prescribed confidence, using
+    concentration bounds on the Monte-Carlo estimate; this module provides
+    the same machinery for any of the sampled metrics. *)
+
+val hoeffding_margin : samples:int -> confidence:float -> float
+(** One-sided Hoeffding deviation bound for a mean of [0,1]-valued samples:
+    with probability at least [confidence], the true mean is below the
+    sampled mean plus this margin.  Requires [samples > 0] and
+    [0 < confidence < 1]. *)
+
+val upper_bound : sampled:float -> samples:int -> confidence:float -> float
+(** Certified upper bound on the true error. *)
+
+val certified_le :
+  sampled:float -> samples:int -> confidence:float -> threshold:float -> bool
+(** Does the sample certify [true error <= threshold] at this confidence? *)
+
+val samples_needed : margin:float -> confidence:float -> int
+(** Minimum sample count for a given margin at a given confidence. *)

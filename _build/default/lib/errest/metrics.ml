@@ -1,0 +1,153 @@
+module Bitvec = Logic.Bitvec
+
+type kind = Er | Nmed | Mred
+
+let kind_to_string = function Er -> "er" | Nmed -> "nmed" | Mred -> "mred"
+
+let kind_of_string = function
+  | "er" -> Some Er
+  | "nmed" -> Some Nmed
+  | "mred" -> Some Mred
+  | _ -> None
+
+let check_shapes golden approx =
+  if Array.length golden <> Array.length approx then
+    invalid_arg "Metrics: PO count mismatch";
+  if Array.length golden > 0 then begin
+    let len = Bitvec.length golden.(0) in
+    Array.iter
+      (fun v -> if Bitvec.length v <> len then invalid_arg "Metrics: ragged signatures")
+      (Array.append golden approx)
+  end
+
+let num_rounds golden =
+  if Array.length golden = 0 then 0 else Bitvec.length golden.(0)
+
+let er ~golden ~approx =
+  check_shapes golden approx;
+  let len = num_rounds golden in
+  if len = 0 then 0.0
+  else begin
+    let diff = Bitvec.create len in
+    Array.iteri
+      (fun i go ->
+        let x = Bitvec.logxor go approx.(i) in
+        Bitvec.logor_inplace diff x)
+      golden;
+    float_of_int (Bitvec.popcount diff) /. float_of_int len
+  end
+
+let output_values pos =
+  let npos = Array.length pos in
+  if npos > 62 then invalid_arg "Metrics.output_values: more than 62 outputs";
+  let len = num_rounds pos in
+  let values = Array.make len 0 in
+  for i = 0 to npos - 1 do
+    let words = Bitvec.unsafe_words pos.(i) in
+    for m = 0 to len - 1 do
+      let bit = (words.(m / Bitvec.word_bits) lsr (m mod Bitvec.word_bits)) land 1 in
+      values.(m) <- values.(m) lor (bit lsl i)
+    done
+  done;
+  values
+
+let fold_ed f ~golden ~approx =
+  check_shapes golden approx;
+  let len = num_rounds golden in
+  if len = 0 then 0.0
+  else begin
+    let gv = output_values golden and av = output_values approx in
+    let acc = ref 0.0 in
+    for m = 0 to len - 1 do
+      acc := !acc +. f gv.(m) av.(m)
+    done;
+    !acc /. float_of_int len
+  end
+
+let mean_ed ~golden ~approx =
+  fold_ed (fun g a -> float_of_int (abs (g - a))) ~golden ~approx
+
+let nmed ~golden ~approx =
+  let o = Array.length golden in
+  let maxval = if o = 0 then 1.0 else (2.0 ** float_of_int o) -. 1.0 in
+  mean_ed ~golden ~approx /. maxval
+
+let mred ~golden ~approx =
+  fold_ed
+    (fun g a -> float_of_int (abs (g - a)) /. float_of_int (max g 1))
+    ~golden ~approx
+
+let worst_case_ed ~golden ~approx =
+  check_shapes golden approx;
+  if num_rounds golden = 0 then 0
+  else begin
+    let gv = output_values golden and av = output_values approx in
+    let worst = ref 0 in
+    Array.iteri (fun m g -> worst := max !worst (abs (g - av.(m)))) gv;
+    !worst
+  end
+
+let measure kind ~golden ~approx =
+  match kind with
+  | Er -> er ~golden ~approx
+  | Nmed -> nmed ~golden ~approx
+  | Mred -> mred ~golden ~approx
+
+type prepared =
+  | Prep_er of Bitvec.t array
+  | Prep_ed of {
+      golden : Bitvec.t array;
+      values : int array;
+      weights : float array;  (** per-round multiplier applied to [|d|] *)
+    }
+
+let prepare kind ~golden =
+  match kind with
+  | Er -> Prep_er golden
+  | Nmed ->
+      let o = Array.length golden in
+      let maxval = if o = 0 then 1.0 else (2.0 ** float_of_int o) -. 1.0 in
+      let values = output_values golden in
+      Prep_ed { golden; values; weights = Array.map (fun _ -> 1.0 /. maxval) values }
+  | Mred ->
+      let values = output_values golden in
+      Prep_ed
+        {
+          golden;
+          values;
+          weights = Array.map (fun g -> 1.0 /. float_of_int (max g 1)) values;
+        }
+
+let measure_prepared prep ~approx =
+  match prep with
+  | Prep_er golden -> er ~golden ~approx
+  | Prep_ed { golden; values; weights } ->
+      check_shapes golden approx;
+      let len = num_rounds golden in
+      if len = 0 then 0.0
+      else begin
+        let av = output_values approx in
+        let acc = ref 0.0 in
+        for m = 0 to len - 1 do
+          acc := !acc +. (float_of_int (abs (values.(m) - av.(m))) *. weights.(m))
+        done;
+        !acc /. float_of_int len
+      end
+
+let compare_graphs kind ~original ~approx patterns =
+  if Aig.Graph.num_pis original <> Aig.Graph.num_pis approx then
+    invalid_arg "Metrics.compare_graphs: PI count mismatch";
+  if Aig.Graph.num_pos original <> Aig.Graph.num_pos approx then
+    invalid_arg "Metrics.compare_graphs: PO count mismatch";
+  let golden = Sim.Engine.simulate_pos original patterns in
+  let approx = Sim.Engine.simulate_pos approx patterns in
+  measure kind ~golden ~approx
+
+let evaluate ?(seed = 20260705) ?(sample = 1 lsl 17) kind ~original ~approx =
+  let npis = Aig.Graph.num_pis original in
+  let patterns =
+    if npis <= Sim.Patterns.exhaustive_limit && 1 lsl npis <= sample then
+      Sim.Patterns.exhaustive ~npis
+    else Sim.Patterns.random (Logic.Rng.create seed) ~npis ~len:sample
+  in
+  compare_graphs kind ~original ~approx patterns

@@ -1,0 +1,60 @@
+(** Error metrics between a golden and an approximate circuit (Section II-B).
+
+    Output vectors are interpreted as unsigned integers with PO index 0 the
+    least-significant bit, matching the conventions of [lib/circuits]. *)
+
+type kind =
+  | Er  (** error rate: fraction of rounds with any differing PO *)
+  | Nmed  (** mean error distance normalized by [2^O - 1] *)
+  | Mred  (** mean relative error distance *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val er : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> float
+(** From PO signature arrays of equal shape. *)
+
+val mean_ed : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> float
+(** Average absolute difference of the encoded outputs.  Requires at most 62
+    POs. *)
+
+val nmed : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> float
+val mred : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> float
+
+val measure :
+  kind -> golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> float
+
+(** {1 Prepared measurement}
+
+    When the same golden outputs are compared against many approximations
+    (batch LAC scoring), the golden-side decode is done once. *)
+
+type prepared
+
+val prepare : kind -> golden:Logic.Bitvec.t array -> prepared
+
+val measure_prepared : prepared -> approx:Logic.Bitvec.t array -> float
+
+val worst_case_ed : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> int
+(** Largest absolute error distance over the sampled rounds (not one of the
+    paper's constraint metrics, but the standard companion measurement). *)
+
+val output_values : Logic.Bitvec.t array -> int array
+(** Decode PO signatures into one unsigned integer per simulation round. *)
+
+val compare_graphs :
+  kind -> original:Aig.Graph.t -> approx:Aig.Graph.t -> Logic.Bitvec.t array -> float
+(** Simulate both circuits on the same pattern set and measure.  The graphs
+    must agree in PI and PO counts. *)
+
+val evaluate :
+  ?seed:int ->
+  ?sample:int ->
+  kind ->
+  original:Aig.Graph.t ->
+  approx:Aig.Graph.t ->
+  float
+(** Final-quality measurement: exhaustive when the PI count allows (at most
+    {!Sim.Patterns.exhaustive_limit} inputs, and at most [sample] rounds),
+    Monte-Carlo with [sample] rounds otherwise.  Default [sample] is [2^17];
+    the paper uses [10^7] rounds, see DESIGN.md §2.7. *)

@@ -1,0 +1,1 @@
+lib/io/aiger.ml: Aig Array Buffer Fun List Option Printf String

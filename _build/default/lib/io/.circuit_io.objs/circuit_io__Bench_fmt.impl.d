@@ -1,0 +1,1 @@
+lib/io/bench_fmt.ml: Aig Buffer Fun Hashtbl List Printf String

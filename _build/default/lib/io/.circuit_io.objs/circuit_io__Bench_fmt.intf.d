@@ -1,0 +1,1 @@
+lib/io/bench_fmt.mli: Aig

@@ -1,0 +1,1 @@
+lib/io/blif.ml: Aig Array Buffer Fun Hashtbl List Logic Printf String Techmap

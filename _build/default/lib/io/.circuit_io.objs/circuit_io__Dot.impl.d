@@ -1,0 +1,1 @@
+lib/io/dot.ml: Aig Buffer Fun Printf

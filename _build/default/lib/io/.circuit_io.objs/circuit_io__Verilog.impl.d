@@ -1,0 +1,1 @@
+lib/io/verilog.ml: Aig Array Buffer Fun List Logic Printf String Techmap

@@ -1,0 +1,1 @@
+lib/io/verilog.mli: Aig Techmap

@@ -1,0 +1,162 @@
+module Graph = Aig.Graph
+
+let graph_to_string g =
+  let buf = Buffer.create 4096 in
+  (* AIGER variables: inputs first, then ANDs, densely numbered. *)
+  let n = Graph.num_nodes g in
+  let var_of = Array.make n 0 in
+  let next = ref 1 in
+  for i = 0 to Graph.num_pis g - 1 do
+    var_of.(Graph.pi_node g i) <- !next;
+    incr next
+  done;
+  let and_ids = ref [] in
+  Graph.iter_ands g (fun id ->
+      var_of.(id) <- !next;
+      incr next;
+      and_ids := id :: !and_ids);
+  let and_ids = List.rev !and_ids in
+  let lit_of l =
+    let id = Graph.node_of l in
+    let base = if Graph.is_const id then 0 else 2 * var_of.(id) in
+    base + if Graph.is_compl l then 1 else 0
+  in
+  let m = !next - 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m (Graph.num_pis g) (Graph.num_pos g)
+       (List.length and_ids));
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * var_of.(Graph.pi_node g i)))
+  done;
+  Graph.iter_pos g (fun _ l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_of l)));
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * var_of.(id))
+           (lit_of (Graph.fanin0 g id))
+           (lit_of (Graph.fanin1 g id))))
+    and_ids;
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf (Printf.sprintf "i%d %s\n" i (Graph.pi_name g i))
+  done;
+  for i = 0 to Graph.num_pos g - 1 do
+    Buffer.add_string buf (Printf.sprintf "o%d %s\n" i (Graph.po_name g i))
+  done;
+  Buffer.add_string buf (Printf.sprintf "c\n%s\n" (Graph.name g));
+  Buffer.contents buf
+
+let write_graph path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (graph_to_string g))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let fail lineno fmt =
+    Printf.ksprintf (fun s -> failwith (Printf.sprintf "aiger:%d: %s" lineno s)) fmt
+  in
+  match lines with
+  | [] -> failwith "aiger: empty input"
+  | header :: rest -> (
+      let ints_of lineno s =
+        String.split_on_char ' ' s
+        |> List.filter (fun t -> t <> "")
+        |> List.map (fun t ->
+               match int_of_string_opt t with
+               | Some v -> v
+               | None -> fail lineno "bad integer %S" t)
+      in
+      if not (String.length header >= 4 && String.sub header 0 4 = "aag ") then
+        failwith "aiger: only the ASCII (aag) variant is supported"
+      else (
+          match ints_of 1 (String.sub header 4 (String.length header - 4)) with
+          | [ m; i; l; o; a ] ->
+              if l <> 0 then failwith "aiger: latches are not supported";
+              let g = Graph.create ~name:"aiger" () in
+              (* lit_map.(aiger var) = our literal for the positive phase. *)
+              let lit_map = Array.make (m + 1) Graph.const0 in
+              let lineno = ref 1 in
+              let take = ref rest in
+              let next_line () =
+                incr lineno;
+                match !take with
+                | [] -> fail !lineno "unexpected end of file"
+                | x :: tl ->
+                    take := tl;
+                    String.trim x
+              in
+              let input_vars = Array.make i 0 in
+              for k = 0 to i - 1 do
+                match ints_of !lineno (next_line ()) with
+                | [ lit ] when lit >= 2 && lit mod 2 = 0 -> input_vars.(k) <- lit / 2
+                | _ -> fail !lineno "bad input literal"
+              done;
+              let po_lits = Array.make o 0 in
+              for k = 0 to o - 1 do
+                match ints_of !lineno (next_line ()) with
+                | [ lit ] -> po_lits.(k) <- lit
+                | _ -> fail !lineno "bad output literal"
+              done;
+              let and_defs = Array.make a (0, 0, 0) in
+              for k = 0 to a - 1 do
+                match ints_of !lineno (next_line ()) with
+                | [ lhs; r0; r1 ] when lhs mod 2 = 0 && lhs >= 2 ->
+                    and_defs.(k) <- (lhs, r0, r1)
+                | _ -> fail !lineno "bad AND definition"
+              done;
+              (* Symbols (optional). *)
+              let pi_names = Array.make i None and po_names = Array.make o None in
+              List.iteri
+                (fun _ line ->
+                  let line = String.trim line in
+                  if String.length line >= 2 then begin
+                    let kind = line.[0] in
+                    match String.index_opt line ' ' with
+                    | Some sp when kind = 'i' || kind = 'o' -> (
+                        let idx = String.sub line 1 (sp - 1) in
+                        let name = String.sub line (sp + 1) (String.length line - sp - 1) in
+                        match (kind, int_of_string_opt idx) with
+                        | 'i', Some k when k >= 0 && k < i -> pi_names.(k) <- Some name
+                        | 'o', Some k when k >= 0 && k < o -> po_names.(k) <- Some name
+                        | _ -> ())
+                    | _ -> ()
+                  end)
+                !take;
+              (* Build: PIs in declaration order, ANDs in file order (AIGER
+                 requires definitions before use for aag produced by most
+                 tools; we verify as we go). *)
+              Array.iteri
+                (fun k v ->
+                  let name = Option.value ~default:(Printf.sprintf "x%d" k) pi_names.(k) in
+                  lit_map.(v) <- Graph.add_pi ~name g)
+                input_vars;
+              let defined = Array.make (m + 1) false in
+              Array.iter (fun v -> defined.(v) <- true) input_vars;
+              let our_lit aiger_lit =
+                let v = aiger_lit / 2 in
+                if v > m then failwith "aiger: literal out of range";
+                if v > 0 && not defined.(v) then
+                  failwith "aiger: literal used before definition";
+                Graph.lit_not_cond lit_map.(v) (aiger_lit mod 2 = 1)
+              in
+              Array.iter
+                (fun (lhs, r0, r1) ->
+                  let v = lhs / 2 in
+                  let l = Graph.and_ g (our_lit r0) (our_lit r1) in
+                  lit_map.(v) <- l;
+                  defined.(v) <- true)
+                and_defs;
+              Array.iteri
+                (fun k lit ->
+                  let name = Option.value ~default:(Printf.sprintf "y%d" k) po_names.(k) in
+                  ignore (Graph.add_po ~name g (our_lit lit)))
+                po_lits;
+              g
+          | _ -> failwith "aiger: malformed header"))
+
+let read path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

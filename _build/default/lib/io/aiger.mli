@@ -1,0 +1,18 @@
+(** AIGER format (ASCII [aag] variant) reading and writing.
+
+    AIGER is the standard interchange format for AND-inverter graphs
+    (Biere, FMV reports); its literal encoding ([2 * var + complement],
+    literal 0 = false) coincides with this library's, so conversion is a
+    direct renumbering.  The combinational subset is supported: latches are
+    rejected on input and never produced on output.  Symbol and comment
+    sections are written and parsed. *)
+
+val graph_to_string : Aig.Graph.t -> string
+
+val write_graph : string -> Aig.Graph.t -> unit
+
+val parse : string -> Aig.Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input or on
+    sequential (latch) content. *)
+
+val read : string -> Aig.Graph.t

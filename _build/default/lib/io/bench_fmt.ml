@@ -1,0 +1,146 @@
+module Graph = Aig.Graph
+
+let graph_to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Graph.name g));
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Graph.pi_name g i))
+  done;
+  for i = 0 to Graph.num_pos g - 1 do
+    Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Graph.po_name g i))
+  done;
+  (* Complemented edges need explicit NOT gates; memoize them. *)
+  let inverted = Hashtbl.create 64 in
+  let base_name id =
+    if Graph.is_const id then "const0"
+    else if Graph.is_pi g id then Graph.pi_name g (Graph.pi_index g id)
+    else Printf.sprintf "n%d" id
+  in
+  let used_const = ref false in
+  let lit_str l =
+    let id = Graph.node_of l in
+    if Graph.is_const id then used_const := true;
+    if Graph.is_compl l then begin
+      match Hashtbl.find_opt inverted id with
+      | Some nm -> nm
+      | None ->
+          let nm = base_name id ^ "_bar" in
+          Buffer.add_string buf (Printf.sprintf "%s = NOT(%s)\n" nm (base_name id));
+          Hashtbl.replace inverted id nm;
+          nm
+    end
+    else base_name id
+  in
+  Graph.iter_ands g (fun id ->
+      let a = lit_str (Graph.fanin0 g id) and b = lit_str (Graph.fanin1 g id) in
+      Buffer.add_string buf (Printf.sprintf "n%d = AND(%s, %s)\n" id a b));
+  Graph.iter_pos g (fun i l ->
+      Buffer.add_string buf (Printf.sprintf "%s = BUFF(%s)\n" (Graph.po_name g i) (lit_str l)));
+  if !used_const then
+    (* const0 = x AND NOT x over the first input (bench has no constants). *)
+    if Graph.num_pis g > 0 then begin
+      let x = Graph.pi_name g 0 in
+      Buffer.add_string buf (Printf.sprintf "const0_b = NOT(%s)\n" x);
+      Buffer.add_string buf (Printf.sprintf "const0 = AND(%s, const0_b)\n" x)
+    end;
+  Buffer.contents buf
+
+let write_graph path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (graph_to_string g))
+
+type def = { op : string; args : string list }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let fail fmt =
+          Printf.ksprintf
+            (fun s -> failwith (Printf.sprintf "bench:%d: %s" (lineno + 1) s))
+            fmt
+        in
+        let parse_call s =
+          (* OP(a, b, ...) *)
+          match String.index_opt s '(' with
+          | None -> fail "expected a gate call in %S" s
+          | Some i ->
+              let op = String.trim (String.sub s 0 i) in
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              let rest =
+                match String.rindex_opt rest ')' with
+                | Some j -> String.sub rest 0 j
+                | None -> fail "missing ')' in %S" s
+              in
+              let args =
+                String.split_on_char ',' rest |> List.map String.trim
+                |> List.filter (fun a -> a <> "")
+              in
+              (String.uppercase_ascii op, args)
+        in
+        match String.index_opt line '=' with
+        | None -> (
+            let op, args = parse_call line in
+            match (op, args) with
+            | "INPUT", [ n ] -> inputs := n :: !inputs
+            | "OUTPUT", [ n ] -> outputs := n :: !outputs
+            | _ -> fail "unknown declaration %s" op)
+        | Some i ->
+            let out = String.trim (String.sub line 0 i) in
+            let rhs = String.sub line (i + 1) (String.length line - i - 1) in
+            let op, args = parse_call rhs in
+            if args = [] then fail "gate %s with no operands" op;
+            Hashtbl.replace defs out { op; args }
+      end)
+    lines;
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let g = Graph.create ~name:"bench" () in
+  let env : (string, Graph.lit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace env n (Graph.add_pi ~name:n g)) inputs;
+  let building = Hashtbl.create 16 in
+  let rec lookup name =
+    match Hashtbl.find_opt env name with
+    | Some l -> l
+    | None ->
+        if Hashtbl.mem building name then
+          failwith (Printf.sprintf "bench: combinational loop through %s" name);
+        Hashtbl.replace building name ();
+        let l =
+          match Hashtbl.find_opt defs name with
+          | None -> failwith (Printf.sprintf "bench: undefined signal %s" name)
+          | Some { op; args } -> (
+              let lits = List.map lookup args in
+              match (op, lits) with
+              | "NOT", [ a ] -> Graph.lit_not a
+              | "BUFF", [ a ] | "BUF", [ a ] -> a
+              | "AND", _ -> Aig.Builder.and_list g lits
+              | "NAND", _ -> Graph.lit_not (Aig.Builder.and_list g lits)
+              | "OR", _ -> Aig.Builder.or_list g lits
+              | "NOR", _ -> Graph.lit_not (Aig.Builder.or_list g lits)
+              | "XOR", _ -> Aig.Builder.xor_list g lits
+              | "XNOR", _ -> Graph.lit_not (Aig.Builder.xor_list g lits)
+              | _ -> failwith (Printf.sprintf "bench: unsupported gate %s" op))
+        in
+        Hashtbl.remove building name;
+        Hashtbl.replace env name l;
+        l
+  in
+  List.iter (fun n -> ignore (Graph.add_po ~name:n g (lookup n))) outputs;
+  g
+
+let read path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

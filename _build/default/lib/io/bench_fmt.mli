@@ -1,0 +1,14 @@
+(** ISCAS-85 [.bench] format reading and writing.
+
+    Supported gate lines: [AND], [OR], [NAND], [NOR], [XOR], [XNOR], [NOT],
+    [BUFF] (any arity where meaningful), plus [INPUT(..)] / [OUTPUT(..)]
+    declarations.  Definitions may appear in any order. *)
+
+val graph_to_string : Aig.Graph.t -> string
+
+val write_graph : string -> Aig.Graph.t -> unit
+
+val parse : string -> Aig.Graph.t
+(** Raises [Failure] on malformed input or combinational loops. *)
+
+val read : string -> Aig.Graph.t

@@ -1,0 +1,254 @@
+module Graph = Aig.Graph
+
+(* ---------- Writing ---------- *)
+
+let lit_name g l =
+  let id = Graph.node_of l in
+  let base =
+    if Graph.is_const id then "const"
+    else if Graph.is_pi g id then Graph.pi_name g (Graph.pi_index g id)
+    else Printf.sprintf "n%d" id
+  in
+  (base, Graph.is_compl l)
+
+let graph_to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Graph.name g));
+  Buffer.add_string buf ".inputs";
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf (" " ^ Graph.pi_name g i)
+  done;
+  Buffer.add_string buf "\n.outputs";
+  for i = 0 to Graph.num_pos g - 1 do
+    Buffer.add_string buf (" " ^ Graph.po_name g i)
+  done;
+  Buffer.add_char buf '\n';
+  (* AND nodes: one 2-input cover each, fanin phases folded into the row. *)
+  Graph.iter_ands g (fun id ->
+      let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+      let n0, c0 = lit_name g f0 and n1, c1 = lit_name g f1 in
+      Buffer.add_string buf (Printf.sprintf ".names %s %s n%d\n" n0 n1 id);
+      Buffer.add_string buf
+        (Printf.sprintf "%c%c 1\n" (if c0 then '0' else '1') (if c1 then '0' else '1')));
+  (* PO buffers/inverters/constants. *)
+  Graph.iter_pos g (fun i l ->
+      let po = Graph.po_name g i in
+      let id = Graph.node_of l in
+      if Graph.is_const id then begin
+        Buffer.add_string buf (Printf.sprintf ".names %s\n" po);
+        if Graph.is_compl l then Buffer.add_string buf "1\n"
+      end
+      else begin
+        let n, c = lit_name g l in
+        Buffer.add_string buf (Printf.sprintf ".names %s %s\n%c 1\n" n po (if c then '0' else '1'))
+      end);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_graph path g = write_string path (graph_to_string g)
+
+let mapped_to_string (m : Techmap.Mapped.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" m.Techmap.Mapped.name);
+  Buffer.add_string buf ".inputs";
+  Array.iter (fun n -> Buffer.add_string buf (" " ^ n)) m.Techmap.Mapped.pi_names;
+  Buffer.add_string buf "\n.outputs";
+  Array.iter (fun n -> Buffer.add_string buf (" " ^ n)) m.Techmap.Mapped.po_names;
+  Buffer.add_char buf '\n';
+  let net_name n =
+    if n < m.Techmap.Mapped.npis then m.Techmap.Mapped.pi_names.(n)
+    else Printf.sprintf "w%d" (n - m.Techmap.Mapped.npis)
+  in
+  let const_names = ref [] in
+  let source_name = function
+    | Techmap.Mapped.Net n -> net_name n
+    | Techmap.Mapped.Const b ->
+        let nm = if b then "const1" else "const0" in
+        if not (List.mem nm !const_names) then const_names := nm :: !const_names;
+        nm
+  in
+  Array.iteri
+    (fun i (cell : Techmap.Mapped.cell) ->
+      let out = net_name (m.Techmap.Mapped.npis + i) in
+      let ins = Array.map source_name cell.Techmap.Mapped.fanins in
+      Buffer.add_string buf
+        (Printf.sprintf ".names %s %s\n" (String.concat " " (Array.to_list ins)) out);
+      let k = Logic.Truth.num_vars cell.Techmap.Mapped.tt in
+      let cover =
+        Logic.Isop.compute ~on:cell.Techmap.Mapped.tt ~dc:(Logic.Truth.const0 k)
+      in
+      List.iter
+        (fun row -> Buffer.add_string buf (row ^ "\n"))
+        (Logic.Cover.to_pla_rows cover))
+    m.Techmap.Mapped.cells;
+  Array.iteri
+    (fun i src ->
+      let po = m.Techmap.Mapped.po_names.(i) in
+      match src with
+      | Techmap.Mapped.Const b ->
+          Buffer.add_string buf (Printf.sprintf ".names %s\n" po);
+          if b then Buffer.add_string buf "1\n"
+      | Techmap.Mapped.Net n ->
+          Buffer.add_string buf (Printf.sprintf ".names %s %s\n1 1\n" (net_name n) po))
+    m.Techmap.Mapped.pos;
+  List.iter
+    (fun nm ->
+      Buffer.add_string buf (Printf.sprintf ".names %s\n" nm);
+      if nm = "const1" then Buffer.add_string buf "1\n")
+    !const_names;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_mapped path m = write_string path (mapped_to_string m)
+
+(* ---------- Parsing ---------- *)
+
+type names_def = { inputs : string list; rows : (string * char) list }
+
+let parse text =
+  (* Join continuation lines, strip comments, keep line numbers. *)
+  let raw_lines = String.split_on_char '\n' text in
+  let logical_lines =
+    let rec join acc pending pending_no lineno = function
+      | [] -> List.rev (match pending with Some p -> (pending_no, p) :: acc | None -> acc)
+      | line :: rest ->
+          let line =
+            match String.index_opt line '#' with
+            | Some i -> String.sub line 0 i
+            | None -> line
+          in
+          let line = String.trim line in
+          let acc, pending, pending_no =
+            match pending with
+            | Some p ->
+                if String.length line > 0 && line.[String.length line - 1] = '\\' then
+                  (acc, Some (p ^ " " ^ String.sub line 0 (String.length line - 1)), pending_no)
+                else ((pending_no, p ^ " " ^ line) :: acc, None, 0)
+            | None ->
+                if String.length line > 0 && line.[String.length line - 1] = '\\' then
+                  (acc, Some (String.sub line 0 (String.length line - 1)), lineno)
+                else if line = "" then (acc, None, 0)
+                else ((lineno, line) :: acc, None, 0)
+          in
+          join acc pending pending_no (lineno + 1) rest
+    in
+    join [] None 0 1 raw_lines
+  in
+  let fail lineno fmt = Printf.ksprintf (fun s -> failwith (Printf.sprintf "blif:%d: %s" lineno s)) fmt in
+  let model = ref "blif" in
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, names_def) Hashtbl.t = Hashtbl.create 256 in
+  let current : (string * string list * (string * char) list ref) option ref = ref None in
+  let flush_current () =
+    match !current with
+    | None -> ()
+    | Some (out, ins, rows) ->
+        Hashtbl.replace defs out { inputs = ins; rows = List.rev !rows };
+        current := None
+  in
+  let tokens s =
+    String.map (fun c -> if c = '\t' then ' ' else c) s
+    |> String.split_on_char ' '
+    |> List.filter (fun t -> t <> "")
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match tokens line with
+      | [] -> ()
+      | tok :: rest when String.length tok > 0 && tok.[0] = '.' -> (
+          flush_current ();
+          match tok with
+          | ".model" -> (match rest with [ n ] -> model := n | _ -> ())
+          | ".inputs" -> inputs := !inputs @ rest
+          | ".outputs" -> outputs := !outputs @ rest
+          | ".names" -> (
+              match List.rev rest with
+              | out :: ins_rev -> current := Some (out, List.rev ins_rev, ref [])
+              | [] -> fail lineno ".names without a signal")
+          | ".end" -> ()
+          | ".exdc" | ".latch" | ".subckt" | ".gate" ->
+              fail lineno "unsupported BLIF construct %s" tok
+          | _ -> fail lineno "unknown BLIF directive %s" tok)
+      | toks -> (
+          match !current with
+          | None -> fail lineno "cover row outside a .names section"
+          | Some (_, ins, rows) -> (
+              match toks with
+              | [ pattern; value ] when List.length ins > 0 ->
+                  if String.length pattern <> List.length ins then
+                    fail lineno "cover row width mismatch";
+                  if value <> "1" && value <> "0" then
+                    fail lineno "only 1/0 output covers supported";
+                  rows := (pattern, value.[0]) :: !rows
+              | [ value ] when ins = [] ->
+                  if value <> "1" && value <> "0" then fail lineno "bad constant row";
+                  rows := ("", value.[0]) :: !rows
+              | _ -> fail lineno "malformed cover row")))
+    logical_lines;
+  flush_current ();
+  let g = Graph.create ~name:!model () in
+  let env : (string, Graph.lit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace env n (Graph.add_pi ~name:n g)) !inputs;
+  let building : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec lookup name =
+    match Hashtbl.find_opt env name with
+    | Some l -> l
+    | None -> (
+        if Hashtbl.mem building name then
+          failwith (Printf.sprintf "blif: combinational loop through %s" name);
+        Hashtbl.replace building name ();
+        let l =
+          match Hashtbl.find_opt defs name with
+          | None -> failwith (Printf.sprintf "blif: undefined signal %s" name)
+          | Some def -> build def
+        in
+        Hashtbl.remove building name;
+        Hashtbl.replace env name l;
+        l)
+  and build def =
+    let input_lits = List.map lookup def.inputs in
+    let lits = Array.of_list input_lits in
+    (* Determine the cover polarity: BLIF allows an OFF-set cover ("0"
+       outputs); mixing is rejected. *)
+    let on_rows = List.filter (fun (_, v) -> v = '1') def.rows in
+    let off_rows = List.filter (fun (_, v) -> v = '0') def.rows in
+    let rows, polarity =
+      match (on_rows, off_rows) with
+      | [], [] -> ([], '1') (* constant 0 *)
+      | rows, [] -> (rows, '1')
+      | [], rows -> (rows, '0')
+      | _ -> failwith "blif: mixed-polarity cover"
+    in
+    let cube_lit (pattern, _) =
+      let conj = ref Graph.const1 in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '1' -> conj := Graph.and_ g !conj lits.(i)
+          | '0' -> conj := Graph.and_ g !conj (Graph.lit_not lits.(i))
+          | '-' -> ()
+          | _ -> failwith "blif: bad cover character")
+        pattern;
+      !conj
+    in
+    let disj =
+      List.fold_left
+        (fun acc row ->
+          Graph.lit_not (Graph.and_ g (Graph.lit_not acc) (Graph.lit_not (cube_lit row))))
+        Graph.const0 rows
+    in
+    if polarity = '1' then disj else Graph.lit_not disj
+  in
+  List.iter (fun n -> ignore (Graph.add_po ~name:n g (lookup n))) !outputs;
+  g
+
+let read path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

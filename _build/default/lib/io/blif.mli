@@ -1,0 +1,24 @@
+(** BLIF (Berkeley Logic Interchange Format) reading and writing.
+
+    The combinational subset: [.model], [.inputs], [.outputs], [.names] with
+    SOP rows, [.end].  [.names] sections may appear in any order; latches
+    and subcircuits are rejected. *)
+
+val graph_to_string : Aig.Graph.t -> string
+(** One [.names] per AND node plus buffer/constant tables for the POs. *)
+
+val write_graph : string -> Aig.Graph.t -> unit
+(** Write to a file path. *)
+
+val mapped_to_string : Techmap.Mapped.t -> string
+(** One [.names] per cell, rows from an ISOP of the cell function. *)
+
+val write_mapped : string -> Techmap.Mapped.t -> unit
+
+val parse : string -> Aig.Graph.t
+(** Parse BLIF text into an AIG (each cover row becomes a product term).
+    Raises [Failure] with a line-numbered message on malformed input,
+    unsupported constructs, or combinational loops. *)
+
+val read : string -> Aig.Graph.t
+(** Parse a file. *)

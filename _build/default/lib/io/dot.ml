@@ -1,0 +1,32 @@
+module Graph = Aig.Graph
+
+let graph_to_string g =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=BT;\n" (Graph.name g));
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\" shape=triangle];\n" (Graph.pi_node g i)
+         (Graph.pi_name g i))
+  done;
+  Graph.iter_ands g (fun id ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%d\" shape=circle];\n" id id);
+      let edge l =
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d%s;\n" (Graph.node_of l) id
+             (if Graph.is_compl l then " [style=dashed]" else ""))
+      in
+      edge (Graph.fanin0 g id);
+      edge (Graph.fanin1 g id));
+  Graph.iter_pos g (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  po%d [label=\"%s\" shape=invtriangle];\n" i (Graph.po_name g i));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> po%d%s;\n" (Graph.node_of l) i
+           (if Graph.is_compl l then " [style=dashed]" else "")));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_graph path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (graph_to_string g))

@@ -1,0 +1,6 @@
+(** Graphviz rendering of AIGs (debugging aid; Figure-1-style pictures). *)
+
+val graph_to_string : Aig.Graph.t -> string
+(** Dashed edges are complemented. *)
+
+val write_graph : string -> Aig.Graph.t -> unit

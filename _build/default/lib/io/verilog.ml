@@ -1,0 +1,99 @@
+module Graph = Aig.Graph
+module Mapped = Techmap.Mapped
+
+let sanitize name =
+  String.map (fun c -> if c = '[' || c = ']' || c = '.' then '_' else c) name
+
+let cover_expression cover args =
+  let cube_str (c : Logic.Cube.t) =
+    let lits = ref [] in
+    for v = 29 downto 0 do
+      match Logic.Cube.phase_of c v with
+      | Some true -> lits := args.(v) :: !lits
+      | Some false -> lits := ("~" ^ args.(v)) :: !lits
+      | None -> ()
+    done;
+    match !lits with [] -> "1'b1" | ls -> String.concat " & " ls
+  in
+  match cover.Logic.Cover.cubes with
+  | [] -> "1'b0"
+  | cubes -> String.concat " | " (List.map (fun c -> "(" ^ cube_str c ^ ")") cubes)
+
+let mapped_to_string (m : Mapped.t) =
+  let buf = Buffer.create 4096 in
+  let pis = Array.map sanitize m.Mapped.pi_names in
+  let pos = Array.map sanitize m.Mapped.po_names in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n" (sanitize m.Mapped.name));
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "  input %s,\n" n)) pis;
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (Array.to_list (Array.map (fun n -> Printf.sprintf "  output %s" n) pos)));
+  Buffer.add_string buf "\n);\n";
+  let net_name n =
+    if n < m.Mapped.npis then pis.(n) else Printf.sprintf "w%d" (n - m.Mapped.npis)
+  in
+  let source_str = function
+    | Mapped.Const b -> if b then "1'b1" else "1'b0"
+    | Mapped.Net n -> net_name n
+  in
+  Array.iteri
+    (fun i (cell : Mapped.cell) ->
+      let out = net_name (m.Mapped.npis + i) in
+      Buffer.add_string buf (Printf.sprintf "  wire %s;  // %s\n" out cell.Mapped.label))
+    m.Mapped.cells;
+  Array.iteri
+    (fun i (cell : Mapped.cell) ->
+      let out = net_name (m.Mapped.npis + i) in
+      let args = Array.map source_str cell.Mapped.fanins in
+      let k = Logic.Truth.num_vars cell.Mapped.tt in
+      let cover = Logic.Isop.compute ~on:cell.Mapped.tt ~dc:(Logic.Truth.const0 k) in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" out (cover_expression cover args)))
+    m.Mapped.cells;
+  Array.iteri
+    (fun i src ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" pos.(i) (source_str src)))
+    m.Mapped.pos;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let graph_to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n" (sanitize (Graph.name g)));
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  input %s,\n" (sanitize (Graph.pi_name g i)))
+  done;
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.init (Graph.num_pos g) (fun i ->
+            Printf.sprintf "  output %s" (sanitize (Graph.po_name g i)))));
+  Buffer.add_string buf "\n);\n";
+  let lit_str l =
+    let id = Graph.node_of l in
+    let base =
+      if Graph.is_const id then "1'b0"
+      else if Graph.is_pi g id then sanitize (Graph.pi_name g (Graph.pi_index g id))
+      else Printf.sprintf "n%d" id
+    in
+    if Graph.is_compl l then
+      if base = "1'b0" then "1'b1" else "~" ^ base
+    else base
+  in
+  Graph.iter_ands g (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wire n%d = %s & %s;\n" id
+           (lit_str (Graph.fanin0 g id))
+           (lit_str (Graph.fanin1 g id))));
+  Graph.iter_pos g (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (sanitize (Graph.po_name g i)) (lit_str l)));
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_mapped path m = write_string path (mapped_to_string m)
+
+let write_graph path g = write_string path (graph_to_string g)

@@ -1,0 +1,13 @@
+(** Structural Verilog emission for mapped netlists and AIGs (write-only;
+    reading Verilog is out of scope). *)
+
+val mapped_to_string : Techmap.Mapped.t -> string
+(** One continuous-assign per cell, expression from an ISOP of the cell
+    function. *)
+
+val write_mapped : string -> Techmap.Mapped.t -> unit
+
+val graph_to_string : Aig.Graph.t -> string
+(** One assign per AND node. *)
+
+val write_graph : string -> Aig.Graph.t -> unit

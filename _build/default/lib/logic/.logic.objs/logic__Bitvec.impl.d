@@ -1,0 +1,1 @@
+lib/logic/bitvec.ml: Array Format Hashtbl Printf Rng Stdlib String

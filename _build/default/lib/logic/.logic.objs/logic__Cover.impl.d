@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Array Bitvec Cube Format List Truth

@@ -1,0 +1,1 @@
+lib/logic/cover.mli: Bitvec Cube Format Truth

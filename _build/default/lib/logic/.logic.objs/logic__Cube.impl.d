@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Bitvec Format Stdlib String Truth

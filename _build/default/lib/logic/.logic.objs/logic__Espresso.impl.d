@@ -1,0 +1,1 @@
+lib/logic/espresso.ml: Array Cover Cube Isop List Truth

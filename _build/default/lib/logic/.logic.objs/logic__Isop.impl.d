@@ -1,0 +1,1 @@
+lib/logic/isop.ml: Cover Cube List Truth

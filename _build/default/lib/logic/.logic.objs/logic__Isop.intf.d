@@ -1,0 +1,1 @@
+lib/logic/isop.mli: Cover Truth

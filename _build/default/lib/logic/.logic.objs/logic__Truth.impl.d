@@ -1,0 +1,1 @@
+lib/logic/truth.ml: Array Buffer Format Hashtbl Int64 List Printf Stdlib String

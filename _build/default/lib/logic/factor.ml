@@ -1,0 +1,87 @@
+type expr =
+  | Const of bool
+  | Lit of int * bool
+  | And of expr list
+  | Or of expr list
+
+let smart_and = function [] -> Const true | [ e ] -> e | es -> And es
+
+let smart_or = function [] -> Const false | [ e ] -> e | es -> Or es
+
+let cube_expr c =
+  let lits = ref [] in
+  for v = 29 downto 0 do
+    match Cube.phase_of c v with
+    | Some phase -> lits := Lit (v, phase) :: !lits
+    | None -> ()
+  done;
+  smart_and !lits
+
+(* Most frequent literal across the cubes, with its occurrence count. *)
+let best_literal cubes =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      for v = 0 to 29 do
+        match Cube.phase_of c v with
+        | Some phase ->
+            let key = (v, phase) in
+            Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+        | None -> ()
+      done)
+    cubes;
+  Hashtbl.fold
+    (fun key n acc ->
+      match acc with
+      | Some (_, best) when best >= n -> acc
+      | _ -> Some (key, n))
+    counts None
+
+let rec factor_cubes cubes =
+  match cubes with
+  | [] -> Const false
+  | _ when List.exists (fun c -> Cube.num_lits c = 0) cubes -> Const true
+  | [ c ] -> cube_expr c
+  | _ -> (
+      match best_literal cubes with
+      | None -> Const true
+      | Some (_, 1) -> smart_or (List.map cube_expr cubes)
+      | Some ((v, phase), _) ->
+          let quotient, remainder =
+            List.partition (fun c -> Cube.phase_of c v = Some phase) cubes
+          in
+          let quotient = List.map (fun c -> Cube.remove_var c v) quotient in
+          let divided = smart_and [ Lit (v, phase); factor_cubes quotient ] in
+          if remainder = [] then divided
+          else smart_or [ divided; factor_cubes remainder ])
+
+let of_cover (c : Cover.t) = factor_cubes c.Cover.cubes
+
+let rec eval e point =
+  match e with
+  | Const b -> b
+  | Lit (v, phase) -> if phase then point.(v) else not point.(v)
+  | And es -> List.for_all (fun e -> eval e point) es
+  | Or es -> List.exists (fun e -> eval e point) es
+
+let rec and2_cost = function
+  | Const _ | Lit _ -> 0
+  | And es | Or es ->
+      List.fold_left (fun acc e -> acc + and2_cost e) (List.length es - 1) es
+
+let rec num_lits = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun acc e -> acc + num_lits e) 0 es
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_string ppf (if b then "1" else "0")
+  | Lit (v, phase) -> Format.fprintf ppf "%sx%d" (if phase then "" else "!") v
+  | And es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ") pp)
+        es
+  | Or es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ") pp)
+        es

@@ -1,0 +1,27 @@
+(** Algebraic factoring of two-level covers into multi-level expressions.
+
+    The classic "quick factor" literal-division heuristic: repeatedly divide
+    the cover by its most frequent literal.  The resulting expression trees
+    are what the synthesis passes instantiate as AIG nodes, so the gate cost
+    of an expression ({!and2_cost}) is the acceptance metric used by
+    refactoring and resubstitution. *)
+
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, phase (true = positive) *)
+  | And of expr list
+  | Or of expr list
+
+val of_cover : Cover.t -> expr
+(** Factor a cover.  The expression is logically equal to the cover. *)
+
+val eval : expr -> bool array -> bool
+
+val and2_cost : expr -> int
+(** Number of two-input AND gates needed to realize the expression in an AIG
+    (inverters are free on AIG edges; an OR of [k] terms costs [k-1] ANDs by
+    De Morgan). *)
+
+val num_lits : expr -> int
+
+val pp : Format.formatter -> expr -> unit

@@ -1,0 +1,51 @@
+(* Minato-Morreale recursive ISOP: at each step split on a variable, compute
+   covers that are forced into the 0- and 1-cofactor, then cover what remains
+   with cubes free of the split variable. *)
+
+let rec isop lower upper =
+  if Truth.is_const0 lower then ([], Truth.const0 (Truth.num_vars lower))
+  else if Truth.is_const1 upper then ([ Cube.full ], Truth.const1 (Truth.num_vars lower))
+  else begin
+    let v =
+      match Truth.support upper with
+      | v :: _ -> v
+      | [] ->
+          (* upper is constant but not 1 => constant 0, and lower <= upper is
+             nonzero: the interval is infeasible. *)
+          invalid_arg "Isop: lower not contained in upper"
+    in
+    let l0 = Truth.cofactor0 lower v and l1 = Truth.cofactor1 lower v in
+    let u0 = Truth.cofactor0 upper v and u1 = Truth.cofactor1 upper v in
+    let c0, f0 = isop (Truth.bdiff l0 u1) u0 in
+    let c1, f1 = isop (Truth.bdiff l1 u0) u1 in
+    let rest = Truth.bor (Truth.bdiff l0 f0) (Truth.bdiff l1 f1) in
+    let cs, fs = isop rest (Truth.band u0 u1) in
+    let cubes =
+      List.map (fun c -> Cube.add_lit c v false) c0
+      @ List.map (fun c -> Cube.add_lit c v true) c1
+      @ cs
+    in
+    let xv = Truth.var (Truth.num_vars lower) v in
+    let f =
+      Truth.bor
+        (Truth.bor (Truth.band (Truth.bnot xv) f0) (Truth.band xv f1))
+        fs
+    in
+    (cubes, f)
+  end
+
+let compute_interval ~lower ~upper =
+  if Truth.num_vars lower <> Truth.num_vars upper then
+    invalid_arg "Isop: variable count mismatch";
+  if not (Truth.is_const0 (Truth.bdiff lower upper)) then
+    invalid_arg "Isop: lower not contained in upper";
+  let cubes, f = isop lower upper in
+  (* The recursion guarantees lower <= f <= upper; check in debug builds. *)
+  assert (Truth.is_const0 (Truth.bdiff lower f));
+  assert (Truth.is_const0 (Truth.bdiff f upper));
+  Cover.make (Truth.num_vars lower) cubes
+
+let compute ~on ~dc =
+  if not (Truth.is_const0 (Truth.band on dc)) then
+    invalid_arg "Isop: ON and DC sets overlap";
+  compute_interval ~lower:on ~upper:(Truth.bor on dc)

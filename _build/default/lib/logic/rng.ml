@@ -1,0 +1,38 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+   quality for simulation workloads, and trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = (max_int / n) * n in
+  let rec draw () =
+    let v = bits62 t in
+    if v < limit then v mod n else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  (* 53 high bits -> [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let split t = { state = next64 t }

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, explicitly-seeded splitmix64 generator.  Every stochastic
+    component of the repository (pattern generation, MCMC proposals, benchmark
+    workloads) draws from a value of type {!t}, so runs are reproducible from
+    a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits62 : t -> int
+(** 62 uniformly random bits as a non-negative OCaml [int]. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** [split rng] advances [rng] and returns a generator seeded from it, for
+    decorrelated sub-streams. *)

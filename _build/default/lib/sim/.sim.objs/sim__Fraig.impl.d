@@ -1,0 +1,1 @@
+lib/sim/fraig.ml: Aig Array Engine Hashtbl List Logic Patterns

@@ -1,0 +1,1 @@
+lib/sim/patterns.ml: Array Logic

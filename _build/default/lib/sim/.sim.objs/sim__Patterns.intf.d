@@ -1,0 +1,1 @@
+lib/sim/patterns.mli: Logic

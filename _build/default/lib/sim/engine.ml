@@ -1,0 +1,72 @@
+module Bitvec = Logic.Bitvec
+module Graph = Aig.Graph
+
+let word_mask = Bitvec.word_mask
+
+(* dst := (a ^ ma) & (b ^ mb) word-wise, where ma/mb are phase masks. *)
+let and_words dst a b ma mb =
+  let dw = Bitvec.unsafe_words dst
+  and aw = Bitvec.unsafe_words a
+  and bw = Bitvec.unsafe_words b in
+  for i = 0 to Array.length dw - 1 do
+    dw.(i) <- (aw.(i) lxor ma) land (bw.(i) lxor mb)
+  done;
+  Bitvec.mask_tail dst
+
+let phase_mask l = if Graph.is_compl l then word_mask else 0
+
+let simulate g inputs =
+  if Array.length inputs <> Graph.num_pis g then
+    invalid_arg "Engine.simulate: one signature per PI required";
+  let len = if Array.length inputs = 0 then 0 else Bitvec.length inputs.(0) in
+  Array.iter
+    (fun v ->
+      if Bitvec.length v <> len then invalid_arg "Engine.simulate: ragged signatures")
+    inputs;
+  let sigs = Array.init (Graph.num_nodes g) (fun _ -> Bitvec.create len) in
+  for i = 0 to Graph.num_pis g - 1 do
+    Bitvec.blit inputs.(i) sigs.(Graph.pi_node g i)
+  done;
+  Graph.iter_ands g (fun id ->
+      let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+      and_words sigs.(id)
+        sigs.(Graph.node_of f0)
+        sigs.(Graph.node_of f1)
+        (phase_mask f0) (phase_mask f1));
+  sigs
+
+let lit_value sigs l =
+  let v = sigs.(Graph.node_of l) in
+  if Graph.is_compl l then Bitvec.lognot v else Bitvec.copy v
+
+let po_values g sigs =
+  Array.init (Graph.num_pos g) (fun i -> lit_value sigs (Graph.po_lit g i))
+
+let simulate_pos g inputs = po_values g (simulate g inputs)
+
+let resimulate_tfo g ~base ~tfo ~node ~value =
+  let len = Bitvec.length value in
+  (* Scratch signatures only for re-evaluated nodes. *)
+  let scratch : Bitvec.t option array = Array.make (Graph.num_nodes g) None in
+  scratch.(node) <- Some value;
+  let sig_of id =
+    match scratch.(id) with Some v -> v | None -> base.(id)
+  in
+  Graph.iter_ands g (fun id ->
+      if tfo.(id) && id <> node then begin
+        let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+        let dst =
+          match scratch.(id) with
+          | Some v -> v
+          | None ->
+              let v = Bitvec.create len in
+              scratch.(id) <- Some v;
+              v
+        in
+        and_words dst (sig_of (Graph.node_of f0)) (sig_of (Graph.node_of f1))
+          (phase_mask f0) (phase_mask f1)
+      end);
+  Array.init (Graph.num_pos g) (fun i ->
+      let l = Graph.po_lit g i in
+      let v = sig_of (Graph.node_of l) in
+      if Graph.is_compl l then Bitvec.lognot v else Bitvec.copy v)

@@ -1,0 +1,31 @@
+(** Word-parallel AIG simulation.
+
+    The signature of a node is the vector of its values over all simulation
+    rounds; all rounds are processed 62 at a time. *)
+
+val simulate : Aig.Graph.t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** [simulate g inputs] with [inputs.(i)] the pattern signature of PI [i]
+    (all the same length) returns per-node signatures indexed by node id.
+    The constant node's signature is all-zero. *)
+
+val po_values : Aig.Graph.t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** Apply PO literals (complement included) to node signatures. *)
+
+val simulate_pos : Aig.Graph.t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** [po_values g (simulate g inputs)]. *)
+
+val lit_value : Logic.Bitvec.t array -> Aig.Graph.lit -> Logic.Bitvec.t
+(** Signature of a literal (fresh vector when complemented). *)
+
+val resimulate_tfo :
+  Aig.Graph.t ->
+  base:Logic.Bitvec.t array ->
+  tfo:bool array ->
+  node:int ->
+  value:Logic.Bitvec.t ->
+  Logic.Bitvec.t array
+(** PO signatures after overriding [node]'s signature with [value] and
+    re-evaluating only the nodes marked in [tfo] (as from
+    {!Aig.Cone.tfo_mask}).  [base] is untouched; nodes outside the mask reuse
+    their base signatures.  This is the inner operation of batch error
+    estimation. *)

@@ -1,0 +1,20 @@
+(** Simulation-guided exact merging of functionally equivalent nodes
+    ("fraig-lite").
+
+    Random simulation partitions nodes into candidate equivalence classes
+    (complement-aware); a candidate pair is merged only after an *exact*
+    proof — both functions are tabulated over the union of their PI supports
+    when that support is small enough.  No SAT solver is involved, keeping
+    the whole repository simulation-only like the paper's flow; pairs whose
+    support exceeds the bound are simply left alone.
+
+    This is the substitute for the functional-reduction half of ABC's
+    [fraig]/[dc2]; structural hashing alone cannot merge functionally equal
+    but structurally different logic (e.g. the adder/subtractor pairs in the
+    c7552-class benchmark). *)
+
+val run :
+  ?max_support:int -> ?rounds:int -> ?seed:int -> Aig.Graph.t -> Aig.Graph.t
+(** Defaults: [max_support = 14], [rounds = 256], [seed = 1].  The result is
+    functionally equivalent to the input (merges are proven), never larger,
+    and re-strashed. *)

@@ -1,0 +1,1 @@
+lib/techmap/cellmap.ml: Aig Array Float Hashtbl Library List Logic Mapped

@@ -1,0 +1,1 @@
+lib/techmap/cellmap.mli: Aig Library Mapped

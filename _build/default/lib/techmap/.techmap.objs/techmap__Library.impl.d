@@ -1,0 +1,1 @@
+lib/techmap/library.ml: Format List Logic Printf

@@ -1,0 +1,1 @@
+lib/techmap/library.mli: Format Logic

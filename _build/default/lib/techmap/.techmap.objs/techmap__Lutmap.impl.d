@@ -1,0 +1,1 @@
+lib/techmap/lutmap.ml: Aig Array Float Hashtbl List Logic Mapped Printf

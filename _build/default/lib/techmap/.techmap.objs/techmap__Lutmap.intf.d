@@ -1,0 +1,1 @@
+lib/techmap/lutmap.mli: Aig Mapped

@@ -1,0 +1,1 @@
+lib/techmap/mapped.ml: Array Float Format Logic Printf

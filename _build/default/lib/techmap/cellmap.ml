@@ -1,0 +1,200 @@
+module Graph = Aig.Graph
+module Truth = Logic.Truth
+
+(* A pattern: a library gate pre-composed with a pin permutation and pin
+   polarities.  [pin_var.(i)] is the cut variable pin [i] reads and
+   [pin_neg.(i)] whether it reads it complemented. *)
+type pattern = {
+  gate : Library.gate;
+  pin_var : int array;
+  pin_neg : bool array;
+}
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+(* tt of the pattern as a function of the cut variables. *)
+let pattern_truth p nvars =
+  Truth.of_fun nvars (fun m ->
+      let gm = ref 0 in
+      for i = 0 to p.gate.Library.ninputs - 1 do
+        let bit = (m lsr p.pin_var.(i)) land 1 in
+        let bit = if p.pin_neg.(i) then 1 - bit else bit in
+        gm := !gm lor (bit lsl i)
+      done;
+      Truth.get p.gate.Library.tt !gm)
+
+(* Pattern table: function (over exactly its support size) -> cheapest
+   pattern computing it. *)
+let build_patterns (lib : Library.t) =
+  let table : (Truth.t, pattern) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun gate ->
+      let n = gate.Library.ninputs in
+      let vars = List.init n (fun i -> i) in
+      List.iter
+        (fun perm ->
+          let pin_var = Array.of_list perm in
+          for phase_mask = 0 to (1 lsl n) - 1 do
+            let pin_neg = Array.init n (fun i -> (phase_mask lsr i) land 1 = 1) in
+            let p = { gate; pin_var; pin_neg } in
+            let tt = pattern_truth p n in
+            (* Only functions with full support: shrunk cut functions have
+               full support by construction. *)
+            if List.length (Truth.support tt) = n || n = 1 then
+              match Hashtbl.find_opt table tt with
+              | Some old when old.gate.Library.area <= gate.Library.area -> ()
+              | _ -> Hashtbl.replace table tt p
+          done)
+        (permutations vars))
+    lib.Library.gates;
+  table
+
+type choice =
+  | Match of {
+      pattern : pattern;
+      leaves : int array;  (** node ids, one per cut variable *)
+    }
+  | From_inv  (** realize this phase by inverting the other phase *)
+  | Unmapped
+
+let run ?(k = 4) ?(max_cuts = 10) ?(lib = Library.mcnc) g =
+  let inv = Library.inverter lib in
+  let patterns = build_patterns lib in
+  let n = Graph.num_nodes g in
+  let cuts = Aig.Cut.enumerate g ~k ~max_cuts () in
+  let fanouts = Aig.Topo.fanout_counts g in
+  (* Index 0 = positive phase, 1 = negative. *)
+  let arrival = Array.make_matrix n 2 infinity in
+  let flow = Array.make_matrix n 2 infinity in
+  let choice = Array.make_matrix n 2 Unmapped in
+  for i = 0 to Graph.num_pis g - 1 do
+    let id = Graph.pi_node g i in
+    arrival.(id).(0) <- 0.0;
+    flow.(id).(0) <- 0.0;
+    arrival.(id).(1) <- inv.Library.delay;
+    flow.(id).(1) <- inv.Library.area;
+    choice.(id).(1) <- From_inv
+  done;
+  let consider id phase cand_arrival cand_flow cand_choice =
+    if
+      cand_arrival < arrival.(id).(phase)
+      || (cand_arrival = arrival.(id).(phase) && cand_flow < flow.(id).(phase))
+    then begin
+      arrival.(id).(phase) <- cand_arrival;
+      flow.(id).(phase) <- cand_flow;
+      choice.(id).(phase) <- cand_choice
+    end
+  in
+  Graph.iter_ands g (fun id ->
+      let fo = float_of_int (max 1 fanouts.(id)) in
+      List.iter
+        (fun cut ->
+          let leaves = cut.Aig.Cut.leaves in
+          if not (Array.exists (fun l -> l = id) leaves) then begin
+            let tt_full = Aig.Cut.truth g ~root:id ~leaves in
+            let tt, support = Truth.shrink_to_support tt_full in
+            let sleaves = Array.of_list (List.map (fun v -> leaves.(v)) support) in
+            let try_phase phase tt =
+              match Hashtbl.find_opt patterns tt with
+              | None -> ()
+              | Some p ->
+                  let arr = ref 0.0 and fl = ref p.gate.Library.area in
+                  Array.iteri
+                    (fun pin v ->
+                      let leaf = sleaves.(v) in
+                      let ph = if p.pin_neg.(pin) then 1 else 0 in
+                      arr := Float.max !arr arrival.(leaf).(ph);
+                      fl := !fl +. flow.(leaf).(ph))
+                    p.pin_var;
+                  consider id phase
+                    (p.gate.Library.delay +. !arr)
+                    (!fl /. fo)
+                    (Match { pattern = p; leaves = sleaves })
+            in
+            (match Array.length sleaves with
+            | 0 -> () (* constant cut function: cannot happen after folding *)
+            | _ ->
+                try_phase 0 tt;
+                try_phase 1 (Truth.bnot tt))
+          end)
+        cuts.(id);
+      (* Inverter bridging between the phases. *)
+      for phase = 0 to 1 do
+        let other = 1 - phase in
+        consider id phase
+          (arrival.(id).(other) +. inv.Library.delay)
+          (flow.(id).(other) +. inv.Library.area)
+          From_inv
+      done);
+  (* Derivation. *)
+  let npis = Graph.num_pis g in
+  let cells = ref [] in
+  let ncells = ref 0 in
+  let add_cell cell =
+    cells := cell :: !cells;
+    let net = npis + !ncells in
+    incr ncells;
+    net
+  in
+  let memo = Hashtbl.create 256 in
+  let rec emit id phase =
+    match Hashtbl.find_opt memo (id, phase) with
+    | Some net -> net
+    | None ->
+        let net =
+          if Graph.is_pi g id && phase = 0 then Graph.pi_index g id
+          else begin
+            match choice.(id).(phase) with
+            | From_inv ->
+                let src = emit id (1 - phase) in
+                add_cell
+                  {
+                    Mapped.label = inv.Library.name;
+                    area = inv.Library.area;
+                    delay = inv.Library.delay;
+                    fanins = [| Mapped.Net src |];
+                    tt = inv.Library.tt;
+                  }
+            | Match { pattern; leaves } ->
+                let fanins =
+                  Array.init pattern.gate.Library.ninputs (fun pin ->
+                      let leaf = leaves.(pattern.pin_var.(pin)) in
+                      let ph = if pattern.pin_neg.(pin) then 1 else 0 in
+                      Mapped.Net (emit leaf ph))
+                in
+                add_cell
+                  {
+                    Mapped.label = pattern.gate.Library.name;
+                    area = pattern.gate.Library.area;
+                    delay = pattern.gate.Library.delay;
+                    fanins;
+                    tt = pattern.gate.Library.tt;
+                  }
+            | Unmapped -> failwith "Cellmap: node has no match (incomplete library)"
+          end
+        in
+        Hashtbl.replace memo (id, phase) net;
+        net
+  in
+  let pos =
+    Array.init (Graph.num_pos g) (fun i ->
+        let l = Graph.po_lit g i in
+        let id = Graph.node_of l in
+        if Graph.is_const id then Mapped.Const (Graph.is_compl l)
+        else Mapped.Net (emit id (if Graph.is_compl l then 1 else 0)))
+  in
+  {
+    Mapped.name = Graph.name g;
+    npis;
+    pi_names = Array.init npis (Graph.pi_name g);
+    cells = Array.of_list (List.rev !cells);
+    pos;
+    po_names = Array.init (Graph.num_pos g) (Graph.po_name g);
+  }

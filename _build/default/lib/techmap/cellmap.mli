@@ -1,0 +1,15 @@
+(** Standard-cell technology mapping (the "map" substitute for the ASIC
+    experiments).
+
+    Phase-aware cut-based Boolean matching: for every AND node and both
+    output phases, each k-feasible cut's function (shrunk to its support) is
+    looked up in a precomputed pattern table of library-gate functions under
+    all pin permutations and pin polarities; pin polarities become phase
+    requirements on the fanin side, bridged by explicit inverters when
+    cheaper.  Selection is delay-oriented with area-flow tie-breaking,
+    mirroring the paper's ["map -D <original delay>"] usage. *)
+
+val run : ?k:int -> ?max_cuts:int -> ?lib:Library.t -> Aig.Graph.t -> Mapped.t
+(** Defaults: [k = 4], [max_cuts = 10], [lib = Library.mcnc].  The mapped
+    netlist contains only library cells (inverters included) and is
+    functionally equivalent to the AIG (verified in the test-suite). *)

@@ -1,0 +1,126 @@
+module Graph = Aig.Graph
+module Truth = Logic.Truth
+
+let run ?(k = 6) ?(max_cuts = 12) g =
+  let n = Graph.num_nodes g in
+  let cuts = Aig.Cut.enumerate g ~k ~max_cuts () in
+  let fanouts = Aig.Topo.fanout_counts g in
+  let arrival = Array.make n 0.0 in
+  let flow = Array.make n 0.0 in
+  let best_cut : Aig.Cut.t option array = Array.make n None in
+  Graph.iter_ands g (fun id ->
+      let candidates =
+        List.filter
+          (fun c -> not (Array.exists (fun l -> l = id) c.Aig.Cut.leaves))
+          cuts.(id)
+      in
+      let score c =
+        let arr =
+          Array.fold_left (fun acc l -> Float.max acc arrival.(l)) 0.0 c.Aig.Cut.leaves
+        in
+        let fl =
+          Array.fold_left (fun acc l -> acc +. flow.(l)) 1.0 c.Aig.Cut.leaves
+          /. float_of_int (max 1 fanouts.(id))
+        in
+        (1.0 +. arr, fl)
+      in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            let s = score c in
+            match acc with
+            | None -> Some (s, c)
+            | Some (s0, _) -> if s < s0 then Some (s, c) else acc)
+          None candidates
+      in
+      match best with
+      | None -> failwith "Lutmap: AND node without a non-trivial cut"
+      | Some ((arr, fl), c) ->
+          arrival.(id) <- arr;
+          flow.(id) <- fl;
+          best_cut.(id) <- Some c);
+  (* Derive the cover: walk chosen cuts from the PO drivers. *)
+  let net_of = Array.make n (-1) in
+  for i = 0 to Graph.num_pis g - 1 do
+    net_of.(Graph.pi_node g i) <- i
+  done;
+  let cells = ref [] in
+  let ncells = ref 0 in
+  let npis = Graph.num_pis g in
+  let add_cell cell =
+    cells := cell :: !cells;
+    let net = npis + !ncells in
+    incr ncells;
+    net
+  in
+  let rec emit id =
+    if net_of.(id) >= 0 then net_of.(id)
+    else begin
+      let cut = match best_cut.(id) with Some c -> c | None -> assert false in
+      let leaves = cut.Aig.Cut.leaves in
+      let fanin_nets = Array.map (fun l -> Mapped.Net (emit l)) leaves in
+      let tt = Aig.Cut.truth g ~root:id ~leaves in
+      let net =
+        add_cell
+          {
+            Mapped.label = Printf.sprintf "lut%d" (Array.length leaves);
+            area = 1.0;
+            delay = 1.0;
+            fanins = fanin_nets;
+            tt;
+          }
+      in
+      net_of.(id) <- net;
+      net
+    end
+  in
+  (* Complemented PO drivers get an inverted clone (free in a real LUT, but
+     cloning keeps the netlist purely positive); memoized per node. *)
+  let inverted = Hashtbl.create 8 in
+  let emit_inverted id =
+    match Hashtbl.find_opt inverted id with
+    | Some net -> net
+    | None ->
+        let net =
+          if Graph.is_pi g id then
+            add_cell
+              {
+                Mapped.label = "lut1";
+                area = 1.0;
+                delay = 1.0;
+                fanins = [| Mapped.Net net_of.(id) |];
+                tt = Truth.bnot (Truth.var 1 0);
+              }
+          else begin
+            ignore (emit id);
+            let cut = match best_cut.(id) with Some c -> c | None -> assert false in
+            let leaves = cut.Aig.Cut.leaves in
+            add_cell
+              {
+                Mapped.label = Printf.sprintf "lut%d" (Array.length leaves);
+                area = 1.0;
+                delay = 1.0;
+                fanins = Array.map (fun l -> Mapped.Net net_of.(l)) leaves;
+                tt = Truth.bnot (Aig.Cut.truth g ~root:id ~leaves);
+              }
+          end
+        in
+        Hashtbl.replace inverted id net;
+        net
+  in
+  let pos =
+    Array.init (Graph.num_pos g) (fun i ->
+        let l = Graph.po_lit g i in
+        let id = Graph.node_of l in
+        if Graph.is_const id then Mapped.Const (Graph.is_compl l)
+        else if Graph.is_compl l then Mapped.Net (emit_inverted id)
+        else Mapped.Net (emit id))
+  in
+  {
+    Mapped.name = Graph.name g;
+    npis;
+    pi_names = Array.init npis (Graph.pi_name g);
+    cells = Array.of_list (List.rev !cells);
+    pos;
+    po_names = Array.init (Graph.num_pos g) (Graph.po_name g);
+  }

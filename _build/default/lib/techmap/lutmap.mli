@@ -1,0 +1,12 @@
+(** K-LUT technology mapping (the "if -K 6" substitute for the FPGA
+    experiments).
+
+    Cut-based structural mapping: every AND node selects the k-feasible cut
+    minimizing mapped depth, ties broken by area flow; the LUT network is
+    derived from the PO drivers.  Edge inversions are absorbed into LUT
+    functions, matching FPGA cost semantics. *)
+
+val run : ?k:int -> ?max_cuts:int -> Aig.Graph.t -> Mapped.t
+(** Defaults: [k = 6], [max_cuts = 12].  The result's [label]s are
+    ["lut<size>"], each cell delay 1.0 (so {!Mapped.depth} is LUT depth and
+    {!Mapped.num_cells} the LUT count). *)

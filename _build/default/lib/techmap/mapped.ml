@@ -1,0 +1,125 @@
+module Bitvec = Logic.Bitvec
+module Truth = Logic.Truth
+
+type source = Const of bool | Net of int
+
+type cell = {
+  label : string;
+  area : float;
+  delay : float;
+  fanins : source array;
+  tt : Truth.t;
+}
+
+type t = {
+  name : string;
+  npis : int;
+  pi_names : string array;
+  cells : cell array;
+  pos : source array;
+  po_names : string array;
+}
+
+let num_cells t = Array.length t.cells
+
+let area t = Array.fold_left (fun acc c -> acc +. c.area) 0.0 t.cells
+
+let net_count t = t.npis + Array.length t.cells
+
+let arrivals weight t =
+  let arr = Array.make (net_count t) 0.0 in
+  Array.iteri
+    (fun i c ->
+      let latest =
+        Array.fold_left
+          (fun acc -> function Const _ -> acc | Net n -> Float.max acc arr.(n))
+          0.0 c.fanins
+      in
+      arr.(t.npis + i) <- latest +. weight c)
+    t.cells;
+  arr
+
+let delay t =
+  let arr = arrivals (fun c -> c.delay) t in
+  Array.fold_left
+    (fun acc -> function Const _ -> acc | Net n -> Float.max acc arr.(n))
+    0.0 t.pos
+
+let depth t =
+  let arr = arrivals (fun _ -> 1.0) t in
+  let d =
+    Array.fold_left
+      (fun acc -> function Const _ -> acc | Net n -> Float.max acc arr.(n))
+      0.0 t.pos
+  in
+  int_of_float d
+
+let eval_tt_sigs tt inputs =
+  let k = Truth.num_vars tt in
+  if Array.length inputs <> k then invalid_arg "Mapped.eval_tt_sigs: arity mismatch";
+  if k = 0 then invalid_arg "Mapped.eval_tt_sigs: zero-input table";
+  let len = Bitvec.length inputs.(0) in
+  let out = Bitvec.create len in
+  let ow = Bitvec.unsafe_words out in
+  let iw = Array.map Bitvec.unsafe_words inputs in
+  let full = Bitvec.word_mask in
+  for m = 0 to Truth.num_bits tt - 1 do
+    if Truth.get tt m then
+      for w = 0 to Array.length ow - 1 do
+        let acc = ref full in
+        for i = 0 to k - 1 do
+          let v = iw.(i).(w) in
+          acc := !acc land (if (m lsr i) land 1 = 1 then v else lnot v)
+        done;
+        ow.(w) <- ow.(w) lor !acc
+      done
+  done;
+  Bitvec.mask_tail out;
+  out
+
+let simulate t inputs =
+  if Array.length inputs <> t.npis then invalid_arg "Mapped.simulate: PI count mismatch";
+  let len = if t.npis = 0 then 0 else Bitvec.length inputs.(0) in
+  let nets = Array.make (net_count t) (Bitvec.create 0) in
+  for i = 0 to t.npis - 1 do
+    nets.(i) <- inputs.(i)
+  done;
+  let source_sig = function
+    | Const false -> Bitvec.create len
+    | Const true -> Bitvec.lognot (Bitvec.create len)
+    | Net n -> nets.(n)
+  in
+  Array.iteri
+    (fun i c -> nets.(t.npis + i) <- eval_tt_sigs c.tt (Array.map source_sig c.fanins))
+    t.cells;
+  Array.map source_sig t.pos
+
+let validate t =
+  let exception Bad of string in
+  try
+    if Array.length t.pi_names <> t.npis then raise (Bad "pi_names length mismatch");
+    if Array.length t.po_names <> Array.length t.pos then
+      raise (Bad "po_names length mismatch");
+    Array.iteri
+      (fun i c ->
+        if Truth.num_vars c.tt <> Array.length c.fanins then
+          raise (Bad (Printf.sprintf "cell %d: truth-table arity mismatch" i));
+        Array.iter
+          (function
+            | Const _ -> ()
+            | Net n ->
+                if n < 0 || n >= t.npis + i then
+                  raise (Bad (Printf.sprintf "cell %d: fanin net %d not yet defined" i n)))
+          c.fanins)
+      t.cells;
+    Array.iter
+      (function
+        | Const _ -> ()
+        | Net n -> if n < 0 || n >= net_count t then raise (Bad "PO net out of range"))
+      t.pos;
+    Ok ()
+  with Bad msg -> Error msg
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: pi=%d po=%d cells=%d area=%.1f delay=%.2f depth=%d" t.name
+    t.npis (Array.length t.pos) (num_cells t) (area t) (delay t) (depth t)

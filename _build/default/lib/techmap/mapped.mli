@@ -1,0 +1,48 @@
+(** Technology-mapped netlists (standard cells or LUTs).
+
+    Nets are numbered [0 .. npis-1] for the primary inputs, then one net per
+    cell output in topological order. *)
+
+type source = Const of bool | Net of int
+
+type cell = {
+  label : string;  (** gate name, or ["lut<k>"] *)
+  area : float;
+  delay : float;
+  fanins : source array;
+  tt : Logic.Truth.t;  (** function over the fanins *)
+}
+
+type t = {
+  name : string;
+  npis : int;
+  pi_names : string array;
+  cells : cell array;  (** fanins refer to PIs or earlier cells only *)
+  pos : source array;
+  po_names : string array;
+}
+
+val num_cells : t -> int
+
+val area : t -> float
+
+val delay : t -> float
+(** Longest PI-to-PO path weighted by cell delays. *)
+
+val depth : t -> int
+(** Unit-delay depth (LUT-network depth in the FPGA experiments). *)
+
+val net_count : t -> int
+
+val simulate : t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** PO signatures from PI signatures — used to verify mappers against the
+    source AIG. *)
+
+val validate : t -> (unit, string) result
+(** Topological-order and arity checks. *)
+
+val eval_tt_sigs : Logic.Truth.t -> Logic.Bitvec.t array -> Logic.Bitvec.t
+(** Word-parallel evaluation of a small truth table over input signatures
+    (shared with the resubstitution engine's candidate scoring). *)
+
+val pp_stats : Format.formatter -> t -> unit

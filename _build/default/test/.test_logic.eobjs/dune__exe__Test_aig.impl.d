@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Gen List Logic QCheck Util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Aig Alcotest Baselines Circuits Errest Util

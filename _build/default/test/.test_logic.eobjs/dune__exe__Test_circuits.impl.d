@@ -1,0 +1,1 @@
+test/test_circuits.ml: Aig Alcotest Array Circuits List Logic Sim Util

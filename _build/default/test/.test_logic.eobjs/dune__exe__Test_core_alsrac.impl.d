@@ -1,0 +1,1 @@
+test/test_core_alsrac.ml: Aig Alcotest Array Circuits Core Errest Hashtbl List Logic Option Sim Util

@@ -1,0 +1,1 @@
+test/test_errest.ml: Aig Alcotest Array Errest Float Gen List Logic QCheck Sim Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Aig Alcotest Array Baselines Circuit_io Circuits Core Errest Logic Sim String Techmap Util

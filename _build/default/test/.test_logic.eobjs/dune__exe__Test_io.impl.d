@@ -1,0 +1,1 @@
+test/test_io.ml: Aig Alcotest Array Circuit_io Filename Fun Gen Logic QCheck String Sys Techmap Util

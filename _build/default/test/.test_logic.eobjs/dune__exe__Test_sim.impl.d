@@ -1,0 +1,1 @@
+test/test_sim.ml: Aig Alcotest Array Gen List Logic QCheck Sim Util

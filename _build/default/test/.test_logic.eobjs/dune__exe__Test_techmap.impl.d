@@ -1,0 +1,1 @@
+test/test_techmap.ml: Aig Alcotest Array Circuit_io Circuits Gen List Logic QCheck Sim Techmap Util

@@ -1,0 +1,1 @@
+test/test_word_encode.ml: Aig Alcotest Array Circuits Core Errest Float Gen List Logic QCheck Util

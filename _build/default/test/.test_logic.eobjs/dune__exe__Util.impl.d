@@ -1,0 +1,1 @@
+test/util.ml: Aig Alcotest Array List Logic QCheck_alcotest Sim String

@@ -1,0 +1,96 @@
+module Graph = Aig.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Su's method (SASIMI) ---------- *)
+
+let test_sasimi_zero_threshold () =
+  (* Threshold 0 with exhaustive evaluation: only error-free substitutions,
+     result must stay equivalent. *)
+  let g = Circuits.Adders.ripple_carry ~width:4 in
+  let config =
+    { (Baselines.Sasimi.default_config ~metric:Errest.Metrics.Er ~threshold:0.0) with
+      Baselines.Sasimi.eval_rounds = 512; max_iters = 50 }
+  in
+  let approx, report = Baselines.Sasimi.run ~config g in
+  check "equivalent" true (Util.equivalent g approx);
+  check "error zero" true (report.Baselines.Sasimi.final_est_error = 0.0)
+
+let test_sasimi_reduces_area () =
+  let g = Circuits.Multipliers.array_mult ~width:4 in
+  let config =
+    { (Baselines.Sasimi.default_config ~metric:Errest.Metrics.Er ~threshold:0.05) with
+      Baselines.Sasimi.eval_rounds = 256; max_iters = 100; seed = 3 }
+  in
+  let approx, report = Baselines.Sasimi.run ~config g in
+  check "area reduced" true
+    (report.Baselines.Sasimi.output_ands < report.Baselines.Sasimi.input_ands);
+  check "sampled error within threshold" true
+    (report.Baselines.Sasimi.final_est_error <= 0.05 +. 1e-9);
+  check "interface preserved" true
+    (Graph.num_pis approx = Graph.num_pis g && Graph.num_pos approx = Graph.num_pos g)
+
+let test_sasimi_deterministic () =
+  let g = Circuits.Adders.ripple_carry ~width:6 in
+  let config =
+    { (Baselines.Sasimi.default_config ~metric:Errest.Metrics.Er ~threshold:0.02) with
+      Baselines.Sasimi.eval_rounds = 256; max_iters = 60; seed = 5 }
+  in
+  let _, r1 = Baselines.Sasimi.run ~config g in
+  let _, r2 = Baselines.Sasimi.run ~config g in
+  check_int "same size" r1.Baselines.Sasimi.output_ands r2.Baselines.Sasimi.output_ands
+
+(* ---------- Liu's method (MCMC) ---------- *)
+
+let test_mcmc_respects_threshold () =
+  let g = Circuits.Multipliers.wallace ~width:4 in
+  let config =
+    { (Baselines.Mcmc.default_config ~metric:Errest.Metrics.Er ~threshold:0.03) with
+      Baselines.Mcmc.eval_rounds = 256; proposals = 300; seed = 7 }
+  in
+  let approx, report = Baselines.Mcmc.run ~config g in
+  check "sampled error within threshold" true
+    (report.Baselines.Mcmc.final_est_error <= 0.03 +. 1e-9);
+  check "not larger" true
+    (report.Baselines.Mcmc.output_ands <= report.Baselines.Mcmc.input_ands);
+  check "interface preserved" true
+    (Graph.num_pis approx = Graph.num_pis g && Graph.num_pos approx = Graph.num_pos g);
+  check "chain ran" true (report.Baselines.Mcmc.proposals_tried = 300)
+
+let test_mcmc_deterministic () =
+  let g = Circuits.Adders.ripple_carry ~width:5 in
+  let config =
+    { (Baselines.Mcmc.default_config ~metric:Errest.Metrics.Er ~threshold:0.05) with
+      Baselines.Mcmc.eval_rounds = 256; proposals = 200; seed = 11 }
+  in
+  let _, r1 = Baselines.Mcmc.run ~config g in
+  let _, r2 = Baselines.Mcmc.run ~config g in
+  check_int "same size" r1.Baselines.Mcmc.output_ands r2.Baselines.Mcmc.output_ands;
+  check_int "same accepts" r1.Baselines.Mcmc.accepted r2.Baselines.Mcmc.accepted
+
+let test_mcmc_zero_threshold_equivalent () =
+  let g = Circuits.Adders.ripple_carry ~width:4 in
+  let config =
+    { (Baselines.Mcmc.default_config ~metric:Errest.Metrics.Er ~threshold:0.0) with
+      Baselines.Mcmc.eval_rounds = 512; proposals = 200; seed = 13 }
+  in
+  let approx, _ = Baselines.Mcmc.run ~config g in
+  check "equivalent" true (Util.equivalent g approx)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "sasimi",
+        [
+          Alcotest.test_case "zero threshold" `Quick test_sasimi_zero_threshold;
+          Alcotest.test_case "reduces area" `Quick test_sasimi_reduces_area;
+          Alcotest.test_case "deterministic" `Quick test_sasimi_deterministic;
+        ] );
+      ( "mcmc",
+        [
+          Alcotest.test_case "threshold respected" `Quick test_mcmc_respects_threshold;
+          Alcotest.test_case "deterministic" `Quick test_mcmc_deterministic;
+          Alcotest.test_case "zero threshold" `Quick test_mcmc_zero_threshold_equivalent;
+        ] );
+    ]

@@ -1,0 +1,372 @@
+module Graph = Aig.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let word_value inputs ~base ~width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    if inputs.(base + i) then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let bools v width = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+(* ---------- Adders (a[w], b[w], cin -> s[w], cout) ---------- *)
+
+let adder_spec width inputs =
+  let a = word_value inputs ~base:0 ~width in
+  let b = word_value inputs ~base:width ~width in
+  let cin = if inputs.(2 * width) then 1 else 0 in
+  let total = a + b + cin in
+  Array.append (bools total width) [| total lsr width land 1 = 1 |]
+
+let test_adder build width () =
+  let g = build ~width in
+  check_int "pis" ((2 * width) + 1) (Graph.num_pis g);
+  check_int "pos" (width + 1) (Graph.num_pos g);
+  Util.check_spec ~rounds:500 ~seed:101 g (adder_spec width)
+
+(* ---------- Multipliers (a[w], b[w] -> p[2w]) ---------- *)
+
+let mult_spec width inputs =
+  let a = word_value inputs ~base:0 ~width in
+  let b = word_value inputs ~base:width ~width in
+  bools (a * b) (2 * width)
+
+let test_mult build width () =
+  let g = build ~width in
+  check_int "pos" (2 * width) (Graph.num_pos g);
+  Util.check_spec ~rounds:500 ~seed:103 g (mult_spec width)
+
+let test_square width () =
+  let g = Circuits.Multipliers.square ~width in
+  Util.check_spec ~rounds:300 ~seed:107 g (fun inputs ->
+      let a = word_value inputs ~base:0 ~width in
+      bools (a * a) (2 * width))
+
+(* ---------- ALU ---------- *)
+
+let alu_spec width inputs =
+  let a = word_value inputs ~base:0 ~width in
+  let b = word_value inputs ~base:width ~width in
+  let op = word_value inputs ~base:(2 * width) ~width:3 in
+  let mode = inputs.((2 * width) + 3) in
+  let cin = inputs.((2 * width) + 4) in
+  let en = inputs.((2 * width) + 5) in
+  let mask = (1 lsl width) - 1 in
+  let f, cout =
+    match op with
+    | 0 ->
+        let t = a + b + if cin then 1 else 0 in
+        (t land mask, (t lsr width) land 1 = 1)
+    | 1 ->
+        let t = a - b in
+        (t land mask, a >= b)
+    | 2 -> (a land b, false)
+    | 3 -> (a lor b, false)
+    | 4 -> (a lxor b, false)
+    | 5 -> (lnot (a lor b) land mask, false)
+    | 6 -> (((a lsl 1) lor if cin then 1 else 0) land mask, false)
+    | _ -> (a, false)
+  in
+  let f = if mode then lnot f land mask else f in
+  let f = if en then f else 0 in
+  let cout = cout && en in
+  let zero = f = 0 in
+  let parity =
+    let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+    pop f mod 2 = 1
+  in
+  Array.concat [ bools f width; [| cout; zero; parity |] ]
+
+let test_alu width () =
+  let g = Circuits.Alu.alu ~width () in
+  Util.check_spec ~rounds:600 ~seed:109 g (alu_spec width)
+
+(* ---------- EPFL arithmetic cores ---------- *)
+
+let test_divisor () =
+  let width = 8 in
+  let g = Graph.create () in
+  let n = Circuits.Word.input_word g "n" width in
+  let d = Circuits.Word.input_word g "d" width in
+  let q, r = Circuits.Epfl_arith.divide_core g n d in
+  Circuits.Word.output_word g "q" q;
+  Circuits.Word.output_word g "r" r;
+  Util.check_spec ~rounds:500 ~seed:113 g (fun inputs ->
+      let n = word_value inputs ~base:0 ~width in
+      let d = word_value inputs ~base:width ~width in
+      if d = 0 then Array.append (bools ((1 lsl width) - 1) width) (bools n width)
+      else Array.append (bools (n / d) width) (bools (n mod d) width))
+
+let test_isqrt () =
+  let width = 16 in
+  let g = Graph.create () in
+  let x = Circuits.Word.input_word g "x" width in
+  let root, _ = Circuits.Epfl_arith.isqrt_core g x in
+  Circuits.Word.output_word g "rt" root;
+  Util.check_spec ~rounds:500 ~seed:127 g (fun inputs ->
+      let x = word_value inputs ~base:0 ~width in
+      let r = int_of_float (sqrt (float_of_int x)) in
+      (* Guard against float rounding at perfect squares. *)
+      let r = if (r + 1) * (r + 1) <= x then r + 1 else if r * r > x then r - 1 else r in
+      bools r (width / 2))
+
+let test_shifter () =
+  let g = Circuits.Epfl_arith.shifter ~width:16 () in
+  Util.check_spec ~rounds:400 ~seed:131 g (fun inputs ->
+      let x = word_value inputs ~base:0 ~width:16 in
+      let sh = word_value inputs ~base:16 ~width:4 in
+      bools (x lsr sh) 16)
+
+let test_max () =
+  let g = Circuits.Epfl_arith.max_ ~width:8 () in
+  Util.check_spec ~rounds:400 ~seed:137 g (fun inputs ->
+      let ops = Array.init 4 (fun i -> word_value inputs ~base:(8 * i) ~width:8) in
+      let m01, w01 = if ops.(1) > ops.(0) then (ops.(1), false) else (ops.(0), true) in
+      let m23, w23 = if ops.(3) > ops.(2) then (ops.(3), false) else (ops.(2), true) in
+      let m, first = if m23 > m01 then (m23, false) else (m01, true) in
+      let i0 = if first then not w01 else not w23 in
+      Array.concat [ bools m 8; [| i0; not first |] ])
+
+let test_log2 () =
+  let g = Circuits.Epfl_arith.log2 ~width:16 () in
+  Util.check_spec ~rounds:400 ~seed:139 g (fun inputs ->
+      let x = word_value inputs ~base:0 ~width:16 in
+      if x = 0 then Array.make 13 false
+      else begin
+        let ilog = int_of_float (floor (log (float_of_int x) /. log 2.0)) in
+        let ilog = if 1 lsl (ilog + 1) <= x then ilog + 1 else if 1 lsl ilog > x then ilog - 1 else ilog in
+        let frac =
+          Array.init 8 (fun k ->
+              let off = k + 1 in
+              ilog - off >= 0 && (x lsr (ilog - off)) land 1 = 1)
+        in
+        Array.concat
+          [ bools ilog 4; Array.init 8 (fun i -> frac.(7 - i)); [| true |] ]
+      end)
+
+(* ---------- EPFL control ---------- *)
+
+let test_dec () =
+  let g = Circuits.Epfl_control.dec ~bits:4 () in
+  Util.check_spec ~rounds:200 ~seed:149 g (fun inputs ->
+      let v = word_value inputs ~base:0 ~width:4 in
+      Array.init 16 (fun i -> i = v))
+
+let test_priority () =
+  let g = Circuits.Epfl_control.priority ~n:16 () in
+  Util.check_spec ~rounds:400 ~seed:151 g (fun inputs ->
+      let rec first i = if i >= 16 then None else if inputs.(i) then Some i else first (i + 1) in
+      match first 0 with
+      | None -> Array.make 5 false
+      | Some i -> Array.append (bools i 4) [| true |])
+
+let test_voter () =
+  let n = 15 in
+  let g = Circuits.Epfl_control.voter ~n () in
+  Util.check_spec ~rounds:400 ~seed:157 g (fun inputs ->
+      let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 inputs in
+      [| ones > n / 2 |])
+
+let test_arbiter () =
+  let n = 8 in
+  let g = Circuits.Epfl_control.arbiter ~n () in
+  Util.check_spec ~rounds:400 ~seed:163 g (fun inputs ->
+      let req = Array.sub inputs 0 n in
+      let ptr = word_value inputs ~base:n ~width:3 in
+      let grant = Array.make n false in
+      (let rec scan k =
+         if k < n then begin
+           let i = (ptr + k) mod n in
+           if req.(i) then grant.(i) <- true else scan (k + 1)
+         end
+       in
+       scan 0);
+      grant)
+
+let test_int2float () =
+  let g = Circuits.Epfl_control.int2float () in
+  Util.check_spec ~rounds:500 ~seed:167 g (fun inputs ->
+      let raw = word_value inputs ~base:0 ~width:11 in
+      let sign = inputs.(10) in
+      let mag = if sign then -(raw - 2048) land 2047 else raw in
+      let mag = mag land 1023 in
+      if mag = 0 then Array.append [| sign |] (Array.make 6 false)
+      else begin
+        let e = int_of_float (floor (log (float_of_int mag) /. log 2.0)) in
+        let e = if 1 lsl (e + 1) <= mag then e + 1 else if 1 lsl e > mag then e - 1 else e in
+        let bit off = e - off >= 0 && (mag lsr (e - off)) land 1 = 1 in
+        Array.concat [ [| sign |]; bools e 4; [| bit 1; bit 2 |] ]
+      end)
+
+(* ---------- Hamming SEC ---------- *)
+
+let test_c1908_corrects_single_errors () =
+  let g = Circuits.Iscas_like.c1908_like () in
+  (* Build a valid codeword for data=0: all zeros.  Flip one bit and check
+     that the corrected data equals zero again. *)
+  for flip = 0 to 20 do
+    let inputs = Array.make 21 false in
+    inputs.(flip) <- true;
+    let out = Util.eval_naive g inputs in
+    (* First 16 outputs: corrected data. *)
+    let data = Array.sub out 0 16 in
+    check ("flip " ^ string_of_int flip) true (Array.for_all not data);
+    check "error flagged" true out.(21)
+  done;
+  (* No error: clean zeros, error flag low. *)
+  let out = Util.eval_naive g (Array.make 21 false) in
+  check "no error flag" false out.(21)
+
+(* ---------- DSP ---------- *)
+
+let test_fir3 () =
+  let g = Circuits.Dsp.fir3 ~width:6 ~taps:(1, 2, 1) () in
+  Util.check_spec ~rounds:400 ~seed:171 g (fun inputs ->
+      let x i = word_value inputs ~base:(6 * i) ~width:6 in
+      let y = x 0 + (2 * x 1) + x 2 in
+      bools y (Graph.num_pos g))
+
+let test_gaussian3x3 () =
+  let g = Circuits.Dsp.gaussian3x3 ~width:6 () in
+  Util.check_spec ~rounds:400 ~seed:173 g (fun inputs ->
+      let p i = word_value inputs ~base:(6 * i) ~width:6 in
+      let weights = [| 1; 2; 1; 2; 4; 2; 1; 2; 1 |] in
+      let sum = ref 0 in
+      Array.iteri (fun i w -> sum := !sum + (w * p i)) weights;
+      bools (!sum / 16) 6)
+
+let test_sobel3x3 () =
+  let g = Circuits.Dsp.sobel3x3 ~width:5 () in
+  Util.check_spec ~rounds:400 ~seed:179 g (fun inputs ->
+      let p i = word_value inputs ~base:(5 * i) ~width:5 in
+      let gx = abs ((p 2 + (2 * p 5) + p 8) - (p 0 + (2 * p 3) + p 6)) in
+      let gy = abs ((p 6 + (2 * p 7) + p 8) - (p 0 + (2 * p 1) + p 2)) in
+      bools ((gx + gy) land 127) 7)
+
+let test_mac () =
+  let g = Circuits.Dsp.mac ~width:5 () in
+  Util.check_spec ~rounds:400 ~seed:181 g (fun inputs ->
+      let a = word_value inputs ~base:0 ~width:5 in
+      let b = word_value inputs ~base:5 ~width:5 in
+      let acc = word_value inputs ~base:10 ~width:10 in
+      bools ((a * b) + acc) 11)
+
+let test_constant_mult () =
+  let g = Graph.create () in
+  let x = Circuits.Word.input_word g "x" 6 in
+  let y = Circuits.Dsp.constant_mult g x 13 in
+  Circuits.Word.output_word g "y" y;
+  Util.check_spec ~rounds:200 ~seed:191 g (fun inputs ->
+      let v = word_value inputs ~base:0 ~width:6 in
+      bools (13 * v) (Array.length y))
+
+let test_median3x3 () =
+  let g = Circuits.Dsp.median3x3 ~width:4 () in
+  Util.check_spec ~rounds:500 ~seed:193 g (fun inputs ->
+      let pixels = List.init 9 (fun i -> word_value inputs ~base:(4 * i) ~width:4) in
+      let sorted = List.sort compare pixels in
+      bools (List.nth sorted 4) 4)
+
+let test_alu4_pla_equivalent () =
+  (* The flat PLA form must compute exactly the behavioral ALU function. *)
+  let beh = Circuits.Alu.alu4 () in
+  let pla = Circuits.Alu.alu4_pla () in
+  let rng = Logic.Rng.create 31 in
+  let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis beh) ~len:2048 in
+  let a = Sim.Engine.simulate_pos beh pats in
+  let b = Sim.Engine.simulate_pos pla pats in
+  check "pla equals behavioral" true (Array.for_all2 Logic.Bitvec.equal a b);
+  check "pla is flat" true (Aig.Topo.depth pla < Aig.Topo.depth beh + 5);
+  check "pla is big" true (Graph.num_ands pla > 2000)
+
+(* ---------- Suite ---------- *)
+
+let test_suite_builds () =
+  List.iter
+    (fun (e : Circuits.Suite.entry) ->
+      let g = e.Circuits.Suite.build () in
+      Aig.Check.check_exn g;
+      check (e.Circuits.Suite.name ^ " nonempty") true (Graph.num_ands g > 0);
+      check
+        (e.Circuits.Suite.name ^ " has POs")
+        true
+        (Graph.num_pos g > 0))
+    Circuits.Suite.all
+
+let test_suite_unique_names () =
+  let names = List.map (fun (e : Circuits.Suite.entry) -> e.Circuits.Suite.name)
+      Circuits.Suite.all in
+  check_int "no duplicates" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_finds () =
+  check "rca32 present" true (Circuits.Suite.find "rca32" <> None);
+  check "unknown absent" true (Circuits.Suite.find "nope" = None);
+  check_int "iscas group size" 12
+    (List.length (Circuits.Suite.of_klass Circuits.Suite.Iscas_arith));
+  check_int "epfl control group size" 10
+    (List.length (Circuits.Suite.of_klass Circuits.Suite.Epfl_control));
+  check_int "epfl arith group size" 10
+    (List.length (Circuits.Suite.of_klass Circuits.Suite.Epfl_arith))
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "adders",
+        [
+          Alcotest.test_case "rca8" `Quick (test_adder (fun ~width -> Circuits.Adders.ripple_carry ~width) 8);
+          Alcotest.test_case "cla8" `Quick (test_adder (fun ~width -> Circuits.Adders.carry_lookahead ~width) 8);
+          Alcotest.test_case "ksa8" `Quick (test_adder (fun ~width -> Circuits.Adders.kogge_stone ~width) 8);
+          Alcotest.test_case "rca32" `Quick (test_adder (fun ~width -> Circuits.Adders.ripple_carry ~width) 32);
+          Alcotest.test_case "cla32" `Quick (test_adder (fun ~width -> Circuits.Adders.carry_lookahead ~width) 32);
+          Alcotest.test_case "ksa32" `Quick (test_adder (fun ~width -> Circuits.Adders.kogge_stone ~width) 32);
+        ] );
+      ( "multipliers",
+        [
+          Alcotest.test_case "mtp4" `Quick (test_mult (fun ~width -> Circuits.Multipliers.array_mult ~width) 4);
+          Alcotest.test_case "mtp8" `Quick (test_mult (fun ~width -> Circuits.Multipliers.array_mult ~width) 8);
+          Alcotest.test_case "wal8" `Quick (test_mult (fun ~width -> Circuits.Multipliers.wallace ~width) 8);
+          Alcotest.test_case "square8" `Quick (test_square 8);
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "alu4" `Quick (test_alu 4);
+          Alcotest.test_case "alu8" `Quick (test_alu 8);
+        ] );
+      ( "epfl-arith",
+        [
+          Alcotest.test_case "divider" `Quick test_divisor;
+          Alcotest.test_case "isqrt" `Quick test_isqrt;
+          Alcotest.test_case "shifter" `Quick test_shifter;
+          Alcotest.test_case "max" `Quick test_max;
+          Alcotest.test_case "log2" `Quick test_log2;
+        ] );
+      ( "epfl-control",
+        [
+          Alcotest.test_case "decoder" `Quick test_dec;
+          Alcotest.test_case "priority" `Quick test_priority;
+          Alcotest.test_case "voter" `Quick test_voter;
+          Alcotest.test_case "arbiter" `Quick test_arbiter;
+          Alcotest.test_case "int2float" `Quick test_int2float;
+        ] );
+      ( "hamming", [ Alcotest.test_case "SEC" `Quick test_c1908_corrects_single_errors ] );
+      ( "alu4-pla", [ Alcotest.test_case "equivalence" `Quick test_alu4_pla_equivalent ] );
+      ( "dsp",
+        [
+          Alcotest.test_case "fir3" `Quick test_fir3;
+          Alcotest.test_case "gaussian3x3" `Quick test_gaussian3x3;
+          Alcotest.test_case "sobel3x3" `Quick test_sobel3x3;
+          Alcotest.test_case "mac" `Quick test_mac;
+          Alcotest.test_case "constant mult" `Quick test_constant_mult;
+          Alcotest.test_case "median3x3" `Quick test_median3x3;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "all build" `Quick test_suite_builds;
+          Alcotest.test_case "lookup" `Quick test_suite_finds;
+          Alcotest.test_case "unique names" `Quick test_suite_unique_names;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+module Graph = Aig.Graph
+module Bitvec = Logic.Bitvec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Divisor selection (Algorithm 1) ---------- *)
+
+let test_divisor_sets_shape () =
+  (* y = (a&b) & (a&c): fanins of y are {ab, ac}; removal sets are the two
+     singletons; replacement sets pair each remaining fanin with TFI nodes. *)
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g and c = Graph.add_pi g in
+  let ab = Graph.and_ g a b in
+  let ac = Graph.and_ g a c in
+  let y = Graph.and_ g ab ac in
+  ignore (Graph.add_po g y);
+  let sets = Core.Divisor.select g ~max_tfi:100 (Graph.node_of y) in
+  check "nonempty" true (sets <> []);
+  (* First set is a single fanin (remove-one). *)
+  check_int "first set size" 1 (Array.length (List.hd sets));
+  List.iter
+    (fun s ->
+      check "size 1 or 2" true (Array.length s >= 1 && Array.length s <= 2);
+      check "target not a divisor" false (Array.mem (Graph.node_of y) s))
+    sets;
+  (* No duplicates. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      check "no duplicate set" false (Hashtbl.mem tbl s);
+      Hashtbl.replace tbl s ())
+    sets
+
+let test_divisor_iter_stops () =
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  let x = Graph.and_ g a b in
+  ignore (Graph.add_po g x);
+  let count = ref 0 in
+  Core.Divisor.iter_sets g ~max_tfi:100 (Graph.node_of x) (fun _ ->
+      incr count;
+      `Stop);
+  check_int "stopped after one" 1 !count
+
+(* ---------- The paper's worked example (Examples 1, 3, 4) ---------- *)
+
+(* Signatures observed at divisors {u, z} and node v over the 5 selected PI
+   patterns of Example 1: uz = {00, 10, 10, 01, 01}, v = {1, 0, 0, 0, 0}. *)
+let example_sigs () =
+  let u = Bitvec.of_string "01100" in
+  let z = Bitvec.of_string "00011" in
+  let v = Bitvec.of_string "10000" in
+  (* Node layout: 0 unused, 1 = u, 2 = z, 3 = v. *)
+  [| Bitvec.create 5; u; z; v |]
+
+let test_example3_feasibility () =
+  let sigs = example_sigs () in
+  let care = Core.Care.scan ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:5 () in
+  check "feasible (Example 3)" true (Core.Feasibility.ok care);
+  check_int "three care tuples (Table II)" 3 care.Core.Care.care_count;
+  Alcotest.(check (list int)) "tuples 00,01,10" [ 0; 1; 2 ] (Core.Care.care_tuples care)
+
+let test_example4_resub_function () =
+  let sigs = example_sigs () in
+  let care = Core.Care.scan ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:5 () in
+  let cover = Core.Resub.derive care in
+  (* Expected v_hat = !u & !z (Table II with the don't-care at 11 set to 0). *)
+  let tt = Logic.Cover.to_truth cover in
+  let expected =
+    Logic.Truth.band
+      (Logic.Truth.bnot (Logic.Truth.var 2 0))
+      (Logic.Truth.bnot (Logic.Truth.var 2 1))
+  in
+  check "v = NOR(u,z) (Example 4)" true (Logic.Truth.equal tt expected)
+
+let test_example2_infeasibility () =
+  (* Full exhaustive simulation of Table I: uz = 10 appears with v = 1 (at
+     abcd=0001) and v = 0 (at abcd=0010): infeasible. *)
+  let u = Bitvec.of_string "0111011101110111" in
+  let z = Bitvec.of_string "0000110011001100" in
+  let v = Bitvec.of_string "1100000000110000" in
+  let sigs = [| Bitvec.create 16; u; z; v |] in
+  let care = Core.Care.scan ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:16 () in
+  check "infeasible (Example 2)" false (Core.Feasibility.ok care)
+
+let test_care_unseen_tuples_are_dc () =
+  let sigs = example_sigs () in
+  let care = Core.Care.scan ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:5 () in
+  let on, dc = Core.Resub.tables care in
+  check "tuple 11 is dc" true (Logic.Truth.get dc 3);
+  check "tuple 00 is on" true (Logic.Truth.get on 0);
+  check "on and dc disjoint" true (Logic.Truth.is_const0 (Logic.Truth.band on dc))
+
+(* ---------- LAC generation (Algorithm 2) ---------- *)
+
+let redundant_circuit () =
+  (* f = (a & b) | (a & b & c): node (a&b&c) is approximable/redundant-ish. *)
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g and c = Graph.add_pi g in
+  let ab = Graph.and_ g a b in
+  let abc = Graph.and_ g ab c in
+  ignore (Graph.add_po g (Aig.Builder.or_ g ab abc));
+  g
+
+let test_lac_generation () =
+  let g = redundant_circuit () in
+  let config = Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.1 in
+  let rng = Logic.Rng.create 3 in
+  let pats = Sim.Patterns.random rng ~npis:3 ~len:32 in
+  let sigs = Sim.Engine.simulate g pats in
+  let lacs = Core.Lac.generate g ~config ~sigs ~rounds:32 in
+  check "found candidates" true (lacs <> []);
+  List.iter
+    (fun (lac : Core.Lac.t) ->
+      check "non-negative gain" true (lac.Core.Lac.gain >= 0);
+      check "divisors below target" true
+        (Array.for_all (fun d -> d < lac.Core.Lac.target) lac.Core.Lac.divisors))
+    lacs
+
+let test_lac_respects_limit () =
+  let g = redundant_circuit () in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.1) with
+      Core.Config.lac_limit = 1 }
+  in
+  let rng = Logic.Rng.create 3 in
+  let pats = Sim.Patterns.random rng ~npis:3 ~len:32 in
+  let sigs = Sim.Engine.simulate g pats in
+  let lacs = Core.Lac.generate g ~config ~sigs ~rounds:32 in
+  (* At most one LAC per node. *)
+  let per_node = Hashtbl.create 8 in
+  List.iter
+    (fun (lac : Core.Lac.t) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt per_node lac.Core.Lac.target) in
+      Hashtbl.replace per_node lac.Core.Lac.target (n + 1))
+    lacs;
+  Hashtbl.iter (fun _ n -> check_int "L=1 respected" 1 n) per_node
+
+(* ---------- Flow (Algorithm 3) ---------- *)
+
+let test_flow_zero_threshold_keeps_function () =
+  (* With threshold 0 and exhaustive evaluation, only error-free LACs are
+     applied, so the result is exactly equivalent. *)
+  let g = redundant_circuit () in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.0) with
+      Core.Config.eval_rounds = 8; max_iters = 20 }
+  in
+  let approx, report = Core.Flow.run ~config g in
+  check "equivalent" true (Util.equivalent g approx);
+  check "report consistent" true (report.Core.Flow.output_ands = Graph.num_ands approx)
+
+let test_flow_reduces_area_under_er () =
+  (* Random control logic (cavlc class) at ER 5%: 10 PIs, so the evaluation
+     set is exhaustive and all flow errors are exact. *)
+  let g = Circuits.Epfl_control.cavlc () in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.05) with
+      Core.Config.eval_rounds = 2048; max_iters = 300; seed = 7 }
+  in
+  let approx, report = Core.Flow.run ~config g in
+  check "area reduced" true (Graph.num_ands approx < Graph.num_ands (Graph.compact g));
+  check "sampled error within threshold" true
+    (report.Core.Flow.final_est_error <= 0.05 +. 1e-9);
+  (* Exhaustive evaluation: the measured error is exact. *)
+  let exact = Errest.Metrics.evaluate Errest.Metrics.Er ~original:g ~approx in
+  check "exact error within threshold" true (exact <= 0.05 +. 1e-9);
+  check "interface preserved" true
+    (Graph.num_pis approx = Graph.num_pis g && Graph.num_pos approx = Graph.num_pos g)
+
+let test_flow_nmed () =
+  let g = Circuits.Multipliers.wallace ~width:4 in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Nmed ~threshold:0.01) with
+      Core.Config.eval_rounds = 256; max_iters = 200; seed = 11 }
+  in
+  let approx, report = Core.Flow.run ~config g in
+  check "area reduced" true (report.Core.Flow.output_ands < report.Core.Flow.input_ands);
+  let exact = Errest.Metrics.evaluate Errest.Metrics.Nmed ~original:g ~approx in
+  check "nmed within 2x threshold" true (exact <= 0.02)
+
+let test_flow_deterministic () =
+  let g = Circuits.Multipliers.array_mult ~width:4 in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.03) with
+      Core.Config.eval_rounds = 256; max_iters = 100; seed = 13 }
+  in
+  let a1, r1 = Core.Flow.run ~config g in
+  let a2, r2 = Core.Flow.run ~config g in
+  check_int "same result size" (Graph.num_ands a1) (Graph.num_ands a2);
+  check_int "same applied count" r1.Core.Flow.applied r2.Core.Flow.applied
+
+let test_flow_rounds_shrink () =
+  (* threshold 0 on an irredundant circuit: no (error-free, gainful) LAC
+     exists, so N must shrink over the patience window and the flow stop. *)
+  let g = Circuits.Adders.kogge_stone ~width:4 in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.0) with
+      Core.Config.eval_rounds = 512; max_iters = 50; seed = 17; sim_rounds = 32 }
+  in
+  let approx, report = Core.Flow.run ~config g in
+  check "terminates" true (report.Core.Flow.final_rounds <= 32);
+  check "equivalent at zero threshold" true (Util.equivalent g approx)
+
+let test_odc_masked_scan () =
+  (* The Example-2 conflict disappears when the conflicting rounds are
+     masked out as unobservable. *)
+  let u = Bitvec.of_string "0111011101110111" in
+  let z = Bitvec.of_string "0000110011001100" in
+  let v = Bitvec.of_string "1100000000110000" in
+  let sigs = [| Bitvec.create 16; u; z; v |] in
+  let unmasked = Core.Care.scan ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:16 () in
+  check "conflict without mask" false (Core.Feasibility.ok unmasked);
+  (* Mask the minority rounds of both conflicting tuples (uz=10 conflicts
+     through round 1; uz=11 through rounds 10 and 11). *)
+  let mask = Bitvec.init 16 (fun m -> not (m = 1 || m = 10 || m = 11)) in
+  let masked = Core.Care.scan ~mask ~sigs ~node:3 ~divisors:[| 1; 2 |] ~rounds:16 () in
+  check "feasible under mask" true (Core.Feasibility.ok masked)
+
+let test_flow_with_odc () =
+  let g = Circuits.Epfl_control.cavlc () in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.05) with
+      Core.Config.eval_rounds = 2048; max_iters = 300; seed = 7; use_odc = true }
+  in
+  let approx, _ = Core.Flow.run ~config g in
+  let exact = Errest.Metrics.evaluate Errest.Metrics.Er ~original:g ~approx in
+  check "odc flow respects threshold (exhaustive eval)" true (exact <= 0.05 +. 1e-9);
+  check "odc flow reduced area" true
+    (Graph.num_ands approx < Graph.num_ands (Graph.compact g))
+
+let test_flow_depth_guard () =
+  (* With a tight depth guard the result must stay within the bound; the
+     kogge-stone adder is the circuit most tempted to serialize. *)
+  let g = Circuits.Adders.kogge_stone ~width:8 in
+  let original_depth = Aig.Topo.depth (Aig.Resyn.compress2 (Graph.compact g)) in
+  let config =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.10) with
+      Core.Config.eval_rounds = 2048; max_iters = 100; seed = 19;
+      max_depth_growth = 1.0 }
+  in
+  let approx, _ = Core.Flow.run ~config g in
+  check "depth preserved" true (Aig.Topo.depth approx <= original_depth)
+
+let () =
+  Alcotest.run "core-alsrac"
+    [
+      ( "divisors",
+        [
+          Alcotest.test_case "set shapes" `Quick test_divisor_sets_shape;
+          Alcotest.test_case "early stop" `Quick test_divisor_iter_stops;
+        ] );
+      ( "paper-examples",
+        [
+          Alcotest.test_case "example 3: feasibility" `Quick test_example3_feasibility;
+          Alcotest.test_case "example 4: resub function" `Quick test_example4_resub_function;
+          Alcotest.test_case "example 2: infeasibility" `Quick test_example2_infeasibility;
+          Alcotest.test_case "unseen tuples are dc" `Quick test_care_unseen_tuples_are_dc;
+        ] );
+      ( "lac",
+        [
+          Alcotest.test_case "generation" `Quick test_lac_generation;
+          Alcotest.test_case "limit" `Quick test_lac_respects_limit;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "zero threshold" `Quick test_flow_zero_threshold_keeps_function;
+          Alcotest.test_case "er reduces area" `Quick test_flow_reduces_area_under_er;
+          Alcotest.test_case "nmed" `Quick test_flow_nmed;
+          Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "rounds shrink" `Quick test_flow_rounds_shrink;
+          Alcotest.test_case "depth guard" `Quick test_flow_depth_guard;
+          Alcotest.test_case "odc masked scan" `Quick test_odc_masked_scan;
+          Alcotest.test_case "odc flow" `Quick test_flow_with_odc;
+        ] );
+    ]

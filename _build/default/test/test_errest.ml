@@ -1,0 +1,251 @@
+module Bitvec = Logic.Bitvec
+module Graph = Aig.Graph
+module Metrics = Errest.Metrics
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let vec s = Bitvec.of_string s
+
+(* ---------- Metrics on hand-built signatures ---------- *)
+
+let test_er_basic () =
+  (* 8 rounds, 2 POs; rounds 1 and 5 differ. *)
+  let golden = [| vec "01010101"; vec "00110011" |] in
+  let approx = [| vec "00010001"; vec "00110011" |] in
+  check_float "er" 0.25 (Metrics.er ~golden ~approx)
+
+let test_er_zero_on_equal () =
+  let golden = [| vec "0110"; vec "1010" |] in
+  check_float "zero" 0.0 (Metrics.er ~golden ~approx:golden)
+
+let test_output_values () =
+  (* PO 0 = LSB.  Round 0: 1,0 -> 1.  Round 1: 0,1 -> 2.  Round 2: 1,1 -> 3. *)
+  let pos = [| vec "101"; vec "011" |] in
+  Alcotest.(check (array int)) "decode" [| 1; 2; 3 |] (Metrics.output_values pos)
+
+let test_mean_ed () =
+  let golden = [| vec "10"; vec "01" |] in
+  (* values 1, 2 *)
+  let approx = [| vec "01"; vec "01" |] in
+  (* values 0, 3 *)
+  check_float "mean |d|" 1.0 (Metrics.mean_ed ~golden ~approx)
+
+let test_nmed () =
+  let golden = [| vec "10"; vec "01" |] in
+  let approx = [| vec "01"; vec "01" |] in
+  (* mean ED 1.0 over maxval 3. *)
+  check_float "nmed" (1.0 /. 3.0) (Metrics.nmed ~golden ~approx)
+
+let test_mred () =
+  let golden = [| vec "10"; vec "01" |] in
+  (* 1, 2 *)
+  let approx = [| vec "00"; vec "01" |] in
+  (* 0, 2 *)
+  (* |1-0|/1 = 1; |2-2|/2 = 0 -> mean 0.5 *)
+  check_float "mred" 0.5 (Metrics.mred ~golden ~approx)
+
+let test_mred_zero_guard () =
+  let golden = [| vec "0" |] in
+  (* correct value 0: denominator max(0,1)=1. *)
+  let approx = [| vec "1" |] in
+  check_float "division guard" 1.0 (Metrics.mred ~golden ~approx)
+
+let test_shape_mismatch () =
+  Alcotest.check_raises "po count" (Invalid_argument "Metrics: PO count mismatch")
+    (fun () -> ignore (Metrics.er ~golden:[| vec "0" |] ~approx:[||]))
+
+(* ---------- compare_graphs / evaluate ---------- *)
+
+let test_compare_graphs_exact () =
+  (* approx = original with one PO inverted: er = 1. *)
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  ignore (Graph.add_po g (Graph.and_ g a b));
+  let h = Graph.create () in
+  let a' = Graph.add_pi h and b' = Graph.add_pi h in
+  ignore (Graph.add_po h (Graph.lit_not (Graph.and_ h a' b')));
+  let pats = Sim.Patterns.exhaustive ~npis:2 in
+  check_float "always wrong" 1.0 (Metrics.compare_graphs Metrics.Er ~original:g ~approx:h pats)
+
+let test_evaluate_known_er () =
+  (* approx of AND2 by constant 0: wrong only on input 11 -> ER 0.25. *)
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  ignore (Graph.add_po g (Graph.and_ g a b));
+  let h = Graph.create () in
+  ignore (Graph.add_pi h);
+  ignore (Graph.add_pi h);
+  ignore (Graph.add_po h Graph.const0);
+  check_float "er 1/4" 0.25 (Metrics.evaluate Metrics.Er ~original:g ~approx:h)
+
+(* ---------- Observability ---------- *)
+
+let test_observability_tree_exact () =
+  (* On a fanout-free tree the backward masks are exact: compare against
+     flip-and-resimulate. *)
+  let rng = Logic.Rng.create 17 in
+  for _ = 1 to 10 do
+    (* Build a random tree: every node used exactly once. *)
+    let g = Graph.create () in
+    let pool = ref (List.init 8 (fun _ -> Graph.add_pi g)) in
+    while List.length !pool > 1 do
+      match !pool with
+      | a :: b :: rest ->
+          let a = if Logic.Rng.bool rng then Graph.lit_not a else a in
+          let b = if Logic.Rng.bool rng then Graph.lit_not b else b in
+          pool := rest @ [ Graph.and_ g a b ]
+      | _ -> assert false
+    done;
+    ignore (Graph.add_po g (List.hd !pool));
+    let pats = Sim.Patterns.exhaustive ~npis:8 in
+    let sigs = Sim.Engine.simulate g pats in
+    let obs = Errest.Observability.masks g ~sigs in
+    Graph.iter_ands g (fun id ->
+        let tfo = Aig.Cone.tfo_mask g id in
+        let flipped = Bitvec.lognot sigs.(id) in
+        let pos = Sim.Engine.resimulate_tfo g ~base:sigs ~tfo ~node:id ~value:flipped in
+        let golden = Sim.Engine.po_values g sigs in
+        let diff = Bitvec.create (Bitvec.length flipped) in
+        Array.iteri
+          (fun i p -> Bitvec.logor_inplace diff (Bitvec.logxor p golden.(i)))
+          pos;
+        check "tree observability exact" true (Bitvec.equal diff obs.(id)))
+  done
+
+let test_observability_po_drivers_full () =
+  (* A PO driver is always fully observable, and the heuristic should agree
+     with exact propagation on a clear majority of (node, round) pairs even
+     under reconvergence. *)
+  let rng = Logic.Rng.create 23 in
+  for _ = 1 to 10 do
+    let g = Util.random_graph rng ~npis:6 ~nands:30 in
+    let pats = Sim.Patterns.exhaustive ~npis:6 in
+    let sigs = Sim.Engine.simulate g pats in
+    let obs = Errest.Observability.masks g ~sigs in
+    Graph.iter_pos g (fun _ l ->
+        let id = Graph.node_of l in
+        if not (Graph.is_const id) then
+          check "po driver fully observable" true (Bitvec.is_ones obs.(id)));
+    let golden = Sim.Engine.po_values g sigs in
+    let agree = ref 0 and total = ref 0 in
+    Graph.iter_ands g (fun id ->
+        let tfo = Aig.Cone.tfo_mask g id in
+        let flipped = Bitvec.lognot sigs.(id) in
+        let pos = Sim.Engine.resimulate_tfo g ~base:sigs ~tfo ~node:id ~value:flipped in
+        let diff = Bitvec.create (Bitvec.length flipped) in
+        Array.iteri (fun i p -> Bitvec.logor_inplace diff (Bitvec.logxor p golden.(i))) pos;
+        total := !total + Bitvec.length diff;
+        agree := !agree + (Bitvec.length diff - Bitvec.hamming diff obs.(id)));
+    if !total > 0 then
+      check "heuristic mostly agrees with exact" true
+        (float_of_int !agree /. float_of_int !total > 0.8)
+  done
+
+(* ---------- Batch ---------- *)
+
+let prop_batch_equals_rebuild =
+  QCheck.Test.make ~name:"batch candidate error equals rebuilt-circuit error"
+    ~count:30
+    QCheck.(make Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Logic.Rng.create seed in
+      let g = Util.random_graph rng ~npis:5 ~nands:40 in
+      if Graph.num_ands g = 0 then true
+      else begin
+        let pats = Sim.Patterns.exhaustive ~npis:5 in
+        let golden = Sim.Engine.simulate_pos g pats in
+        let base = Sim.Engine.simulate g pats in
+        let batch = Errest.Batch.create g ~metric:Metrics.Er ~golden ~base in
+        (* Candidate: substitute a random AND node by an earlier literal. *)
+        let ands = ref [] in
+        Graph.iter_ands g (fun id -> ands := id :: !ands);
+        let arr = Array.of_list !ands in
+        let v = arr.(Logic.Rng.int rng (Array.length arr)) in
+        let s = 1 + Logic.Rng.int rng (max 1 (v - 1)) in
+        let compl = Logic.Rng.bool rng in
+        let new_sig = if compl then Bitvec.lognot base.(s) else Bitvec.copy base.(s) in
+        let fast = Errest.Batch.candidate_error batch ~node:v ~new_sig in
+        let rebuilt =
+          Graph.rebuild
+            ~replace:(fun id ->
+              if id = v then Some (Graph.Replace_lit (Graph.make_lit s compl)) else None)
+            g
+        in
+        let slow = Metrics.compare_graphs Metrics.Er ~original:g ~approx:rebuilt pats in
+        (* The rebuilt comparison is against g itself (golden = g's outputs). *)
+        Float.abs (fast -. slow) < 1e-9
+      end)
+
+let test_batch_base_error_zero () =
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  ignore (Graph.add_po g (Graph.and_ g a b));
+  let pats = Sim.Patterns.exhaustive ~npis:2 in
+  let golden = Sim.Engine.simulate_pos g pats in
+  let base = Sim.Engine.simulate g pats in
+  let batch = Errest.Batch.create g ~metric:Metrics.Er ~golden ~base in
+  check_float "no change, no error" 0.0 (Errest.Batch.base_error batch)
+
+(* ---------- Certify ---------- *)
+
+let test_hoeffding_margin_shrinks () =
+  let m1 = Errest.Certify.hoeffding_margin ~samples:100 ~confidence:0.95 in
+  let m2 = Errest.Certify.hoeffding_margin ~samples:10000 ~confidence:0.95 in
+  check "more samples, smaller margin" true (m2 < m1);
+  check "margin positive" true (m2 > 0.0);
+  (* Known value: sqrt (ln 20 / 200) ~ 0.1224. *)
+  Alcotest.(check (float 1e-4)) "known margin" 0.12239 m1
+
+let test_certified_le () =
+  check "certifies" true
+    (Errest.Certify.certified_le ~sampled:0.005 ~samples:100000 ~confidence:0.95
+       ~threshold:0.01);
+  check "refuses on few samples" false
+    (Errest.Certify.certified_le ~sampled:0.005 ~samples:100 ~confidence:0.95
+       ~threshold:0.01)
+
+let test_samples_needed_roundtrip () =
+  let n = Errest.Certify.samples_needed ~margin:0.01 ~confidence:0.99 in
+  check "enough" true
+    (Errest.Certify.hoeffding_margin ~samples:n ~confidence:0.99 <= 0.01 +. 1e-12);
+  check "tight" true
+    (Errest.Certify.hoeffding_margin ~samples:(n - 100) ~confidence:0.99 > 0.01)
+
+let test_certify_validation () =
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Certify: confidence must be in (0, 1)") (fun () ->
+      ignore (Errest.Certify.hoeffding_margin ~samples:10 ~confidence:1.5))
+
+let () =
+  Alcotest.run "errest"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "er basic" `Quick test_er_basic;
+          Alcotest.test_case "er equal" `Quick test_er_zero_on_equal;
+          Alcotest.test_case "output values" `Quick test_output_values;
+          Alcotest.test_case "mean ed" `Quick test_mean_ed;
+          Alcotest.test_case "nmed" `Quick test_nmed;
+          Alcotest.test_case "mred" `Quick test_mred;
+          Alcotest.test_case "mred zero guard" `Quick test_mred_zero_guard;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+          Alcotest.test_case "compare graphs" `Quick test_compare_graphs_exact;
+          Alcotest.test_case "evaluate known" `Quick test_evaluate_known_er;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "exact on trees" `Quick test_observability_tree_exact;
+          Alcotest.test_case "po drivers / agreement" `Quick test_observability_po_drivers_full;
+        ] );
+      ( "batch",
+        [ Alcotest.test_case "base error" `Quick test_batch_base_error_zero ]
+        @ Util.qcheck_cases [ prop_batch_equals_rebuild ] );
+      ( "certify",
+        [
+          Alcotest.test_case "margin shrinks" `Quick test_hoeffding_margin_shrinks;
+          Alcotest.test_case "certified_le" `Quick test_certified_le;
+          Alcotest.test_case "samples needed" `Quick test_samples_needed_roundtrip;
+          Alcotest.test_case "validation" `Quick test_certify_validation;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+module Graph = Aig.Graph
+module Mapped = Techmap.Mapped
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Mapped netlist and source AIG must agree on every PO for every pattern. *)
+let mapped_equivalent g (m : Mapped.t) ~npis =
+  let pats = Sim.Patterns.exhaustive ~npis in
+  let aig_pos = Sim.Engine.simulate_pos g pats in
+  let map_pos = Mapped.simulate m pats in
+  Array.length aig_pos = Array.length map_pos
+  && Array.for_all2 Logic.Bitvec.equal aig_pos map_pos
+
+(* ---------- Library ---------- *)
+
+let test_library_inverter () =
+  let inv = Techmap.Library.inverter Techmap.Library.mcnc in
+  Alcotest.(check string) "name" "inv" inv.Techmap.Library.name
+
+let test_library_lookup () =
+  check "finds nand2" true (Techmap.Library.find Techmap.Library.mcnc "nand2" <> None);
+  check "rejects unknown" true (Techmap.Library.find Techmap.Library.mcnc "nand9" = None)
+
+let test_library_gate_functions () =
+  (* Spot-check three gate truth tables. *)
+  let gate_tt name =
+    match Techmap.Library.find Techmap.Library.mcnc name with
+    | Some g -> g.Techmap.Library.tt
+    | None -> Alcotest.fail ("missing gate " ^ name)
+  in
+  let open Logic.Truth in
+  check "nand2" true (equal (gate_tt "nand2") (bnot (band (var 2 0) (var 2 1))));
+  check "xor2" true (equal (gate_tt "xor2") (bxor (var 2 0) (var 2 1)));
+  check "aoi21" true
+    (equal (gate_tt "aoi21") (bnot (bor (band (var 3 0) (var 3 1)) (var 3 2))))
+
+(* ---------- LUT mapping ---------- *)
+
+let prop_lutmap_equivalent =
+  QCheck.Test.make ~name:"lutmap preserves function" ~count:30
+    QCheck.(make Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Logic.Rng.create seed in
+      let g = Util.random_graph rng ~npis:6 ~nands:60 in
+      let m = Techmap.Lutmap.run g in
+      (match Mapped.validate m with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid netlist: %s" e);
+      mapped_equivalent g m ~npis:6)
+
+let test_lutmap_cut_width () =
+  let rng = Logic.Rng.create 3 in
+  let g = Util.random_graph rng ~npis:8 ~nands:100 in
+  let m = Techmap.Lutmap.run ~k:4 g in
+  Array.iter
+    (fun (c : Mapped.cell) -> check "lut width <= 4" true (Array.length c.Mapped.fanins <= 4))
+    m.Mapped.cells
+
+let test_lutmap_depth_vs_aig () =
+  (* LUT depth can never exceed AIG depth. *)
+  let g = Circuits.Adders.ripple_carry ~width:8 in
+  let m = Techmap.Lutmap.run ~k:6 g in
+  check "depth reduced" true (Mapped.depth m <= Aig.Topo.depth g);
+  check "luts fewer than ands" true (Mapped.num_cells m <= Graph.num_ands g)
+
+let test_lutmap_adder_exact () =
+  let g = Circuits.Adders.ripple_carry ~width:7 in
+  let m = Techmap.Lutmap.run g in
+  check "adder mapping equivalent" true (mapped_equivalent g m ~npis:15)
+
+let test_lutmap_constant_po () =
+  let g = Graph.create () in
+  ignore (Graph.add_pi g);
+  ignore (Graph.add_po g Graph.const1);
+  ignore (Graph.add_po g Graph.const0);
+  let m = Techmap.Lutmap.run g in
+  check_int "no cells for constants" 0 (Mapped.num_cells m);
+  check "const sources" true
+    (m.Mapped.pos = [| Mapped.Const true; Mapped.Const false |])
+
+let test_lutmap_inverted_po () =
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  let x = Graph.and_ g a b in
+  ignore (Graph.add_po g x);
+  ignore (Graph.add_po g (Graph.lit_not x));
+  let m = Techmap.Lutmap.run g in
+  check "still equivalent" true (mapped_equivalent g m ~npis:2)
+
+(* ---------- Cell mapping ---------- *)
+
+let prop_cellmap_equivalent =
+  QCheck.Test.make ~name:"cellmap preserves function" ~count:30
+    QCheck.(make Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Logic.Rng.create seed in
+      let g = Util.random_graph rng ~npis:6 ~nands:60 in
+      let m = Techmap.Cellmap.run g in
+      (match Mapped.validate m with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid netlist: %s" e);
+      mapped_equivalent g m ~npis:6)
+
+let test_cellmap_uses_library_gates () =
+  let g = Circuits.Multipliers.wallace ~width:4 in
+  let m = Techmap.Cellmap.run g in
+  Array.iter
+    (fun (c : Mapped.cell) ->
+      check ("known gate " ^ c.Mapped.label) true
+        (Techmap.Library.find Techmap.Library.mcnc c.Mapped.label <> None))
+    m.Mapped.cells;
+  check "positive area" true (Mapped.area m > 0.0);
+  check "positive delay" true (Mapped.delay m > 0.0)
+
+let test_cellmap_xor_uses_xor_gate () =
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g in
+  ignore (Graph.add_po g (Aig.Builder.xor g a b));
+  let m = Techmap.Cellmap.run g in
+  check "single cell" true (Mapped.num_cells m = 1);
+  let labels = Array.map (fun (c : Mapped.cell) -> c.Mapped.label) m.Mapped.cells in
+  check "xor2 chosen" true (labels = [| "xor2" |])
+
+let test_cellmap_adder_exact () =
+  let g = Circuits.Adders.carry_lookahead ~width:7 in
+  let m = Techmap.Cellmap.run g in
+  check "cla mapping equivalent" true (mapped_equivalent g m ~npis:15)
+
+let test_cellmap_suite_sample () =
+  (* A couple of real benchmark circuits, verified on random rounds. *)
+  List.iter
+    (fun name ->
+      match Circuits.Suite.find name with
+      | None -> Alcotest.fail ("missing " ^ name)
+      | Some e ->
+          let g = e.Circuits.Suite.build () in
+          let m = Techmap.Cellmap.run g in
+          let rng = Logic.Rng.create 9 in
+          let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:512 in
+          let a = Sim.Engine.simulate_pos g pats in
+          let b = Mapped.simulate m pats in
+          check (name ^ " equivalent") true (Array.for_all2 Logic.Bitvec.equal a b))
+    [ "alu4"; "mtp8" ]
+
+let test_library_wellformed () =
+  List.iter
+    (fun (g : Techmap.Library.gate) ->
+      check ("area>0 " ^ g.Techmap.Library.name) true (g.Techmap.Library.area > 0.0);
+      check ("delay>0 " ^ g.Techmap.Library.name) true (g.Techmap.Library.delay > 0.0);
+      check_int ("arity " ^ g.Techmap.Library.name) g.Techmap.Library.ninputs
+        (Logic.Truth.num_vars g.Techmap.Library.tt);
+      (* Full support: no gate may ignore a pin. *)
+      check ("full support " ^ g.Techmap.Library.name) true
+        (List.length (Logic.Truth.support g.Techmap.Library.tt)
+        = g.Techmap.Library.ninputs))
+    Techmap.Library.mcnc.Techmap.Library.gates
+
+let test_lutmap_small_k () =
+  let g = Circuits.Multipliers.wallace ~width:4 in
+  let m = Techmap.Lutmap.run ~k:3 g in
+  Array.iter
+    (fun (c : Mapped.cell) -> check "width <= 3" true (Array.length c.Mapped.fanins <= 3))
+    m.Mapped.cells;
+  let pats = Sim.Patterns.exhaustive ~npis:8 in
+  let a = Sim.Engine.simulate_pos g pats in
+  let b = Mapped.simulate m pats in
+  check "k=3 equivalent" true (Array.for_all2 Logic.Bitvec.equal a b)
+
+let test_cellmap_blif_roundtrip () =
+  let g = Circuits.Adders.kogge_stone ~width:5 in
+  let m = Techmap.Cellmap.run g in
+  let back = Circuit_io.Blif.parse (Circuit_io.Blif.mapped_to_string m) in
+  check "cellmap blif equivalent" true (Util.equivalent g back)
+
+let () =
+  Alcotest.run "techmap"
+    [
+      ( "library",
+        [
+          Alcotest.test_case "inverter" `Quick test_library_inverter;
+          Alcotest.test_case "lookup" `Quick test_library_lookup;
+          Alcotest.test_case "gate functions" `Quick test_library_gate_functions;
+        ] );
+      ( "lutmap",
+        [
+          Alcotest.test_case "cut width" `Quick test_lutmap_cut_width;
+          Alcotest.test_case "depth bound" `Quick test_lutmap_depth_vs_aig;
+          Alcotest.test_case "adder exact" `Quick test_lutmap_adder_exact;
+          Alcotest.test_case "constant po" `Quick test_lutmap_constant_po;
+          Alcotest.test_case "inverted po" `Quick test_lutmap_inverted_po;
+        ]
+        @ Util.qcheck_cases [ prop_lutmap_equivalent ] );
+      ( "cellmap",
+        [
+          Alcotest.test_case "library wellformed" `Quick test_library_wellformed;
+          Alcotest.test_case "lutmap k=3" `Quick test_lutmap_small_k;
+          Alcotest.test_case "cellmap blif roundtrip" `Quick test_cellmap_blif_roundtrip;
+          Alcotest.test_case "library gates only" `Quick test_cellmap_uses_library_gates;
+          Alcotest.test_case "xor gate" `Quick test_cellmap_xor_uses_xor_gate;
+          Alcotest.test_case "adder exact" `Quick test_cellmap_adder_exact;
+          Alcotest.test_case "suite sample" `Quick test_cellmap_suite_sample;
+        ]
+        @ Util.qcheck_cases [ prop_cellmap_equivalent ] );
+    ]

@@ -1,0 +1,10 @@
+let () =
+  List.iter
+    (fun (e : Circuits.Suite.entry) ->
+      let g = e.Circuits.Suite.build () in
+      Printf.printf "%-10s %-22s pi=%4d po=%4d and=%6d depth=%3d\n"
+        e.Circuits.Suite.name
+        (Circuits.Suite.klass_to_string e.Circuits.Suite.klass)
+        (Aig.Graph.num_pis g) (Aig.Graph.num_pos g) (Aig.Graph.num_ands g)
+        (Aig.Topo.depth g))
+    Circuits.Suite.all
