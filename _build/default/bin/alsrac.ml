@@ -6,8 +6,14 @@ let ( let* ) = Result.bind
 
 (* ---------- Circuit loading / saving ---------- *)
 
+(* Parsers and the journal report recoverable problems (malformed input,
+   unusable run directory) as [Failure]: surface those as ordinary CLI
+   errors, not cmdliner's uncaught-exception backtrace. *)
+let failure_to_msg f = try f () with Failure msg -> Error (`Msg msg)
+
 let load spec =
   if Sys.file_exists spec then
+    failure_to_msg @@ fun () ->
     if Filename.check_suffix spec ".blif" then Ok (Circuit_io.Blif.read spec)
     else if Filename.check_suffix spec ".bench" then Ok (Circuit_io.Bench_fmt.read spec)
     else if Filename.check_suffix spec ".aag" then Ok (Circuit_io.Aiger.read spec)
@@ -98,23 +104,53 @@ let eval_cmd original approx metric sample =
 
 (* ---------- approx ---------- *)
 
-let approx_cmd spec metric threshold method_ seed eval_rounds mapping output =
+let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
+    resume guard =
   let* metric = parse_metric metric in
   let* g = load spec in
   let original = Aig.Graph.compact g in
   let t0 = Sys.time () in
+  let* () =
+    if (journal <> None || resume <> None) && method_ <> "alsrac" then
+      Error (`Msg "--journal/--resume are only supported with --method alsrac")
+    else Ok ()
+  in
   let* approx =
     match method_ with
     | "alsrac" ->
         let config =
           { (Core.Config.default ~metric ~threshold) with
-            Core.Config.seed; eval_rounds }
+            Core.Config.seed; eval_rounds; guard }
         in
-        let a, r = Core.Flow.run ~config g in
-        Printf.printf "alsrac: %d LACs applied, sampled %s = %.5f%%\n"
+        let* a, r =
+          failure_to_msg @@ fun () ->
+          Ok
+            (match resume with
+            | Some dir ->
+                (* The journal manifest supersedes the command line: metric,
+                   threshold, seed and the rest come from the original run. *)
+                Core.Flow.resume dir
+            | None -> Core.Flow.run ?journal ~config g)
+        in
+        Printf.printf "alsrac: %d LACs applied%s, sampled %s = %.5f%%\n"
           r.Core.Flow.applied
+          (if r.Core.Flow.resumed then " (resumed)" else "")
           (Errest.Metrics.kind_to_string metric)
           (100.0 *. r.Core.Flow.final_est_error);
+        (match r.Core.Flow.certified_upper with
+        | Some u ->
+            Printf.printf "certified %s <= %.5f%% (Hoeffding)\n"
+              (Errest.Metrics.kind_to_string metric) (100.0 *. u)
+        | None -> ());
+        if
+          r.Core.Flow.guard_rejects > 0
+          || r.Core.Flow.recovered_exns > 0
+          || r.Core.Flow.quarantined > 0
+        then
+          Printf.printf
+            "resilience: %d guard rollbacks, %d quarantined targets, %d recovered exceptions\n"
+            r.Core.Flow.guard_rejects r.Core.Flow.quarantined
+            r.Core.Flow.recovered_exns;
         Ok a
     | "sasimi" | "su" ->
         let config =
@@ -258,9 +294,12 @@ let eval_cmd' =
 
 let approx_term =
   Term.(
-    const (fun spec metric threshold method_ seed eval_rounds mapping output ->
+    const
+      (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
+           guard ->
         exits_of_result
-          (approx_cmd spec metric threshold method_ seed eval_rounds mapping output))
+          (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
+             journal resume guard))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -269,7 +308,19 @@ let approx_term =
     $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
     $ Arg.(value & opt int 4096 & info [ "eval-rounds" ] ~docv:"N"
              ~doc:"Evaluation sample size during synthesis.")
-    $ mapping_arg $ output_opt)
+    $ mapping_arg $ output_opt
+    $ Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+             ~doc:"Checkpoint the run into $(docv) after every accepted change, \
+                   so it can be resumed with $(b,--resume) after a crash.")
+    $ Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume an interrupted journaled run from $(docv).  The \
+                   journal's recorded configuration (metric, threshold, seed, ...) \
+                   supersedes the command line; the seeded RNG makes the resumed \
+                   run finish with the exact circuit of an uninterrupted one.")
+    $ Arg.(value & opt bool true & info [ "guard" ] ~docv:"BOOL"
+             ~doc:"Guarded transforms: verify structural invariants and \
+                   signature consistency after every accepted change, rolling \
+                   back and quarantining on violation (default on)."))
 
 let approx_cmd' =
   Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")

@@ -1,1 +1,1 @@
-lib/core/config.ml: Errest Format
+lib/core/config.ml: Errest Fault Format

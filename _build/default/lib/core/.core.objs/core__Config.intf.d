@@ -1,1 +1,1 @@
-lib/core/config.mli: Errest Format
+lib/core/config.mli: Errest Fault Format

@@ -1,0 +1,1 @@
+lib/core/fault.ml: Bytes Char List

@@ -1,1 +1,1 @@
-lib/core/flow.ml: Aig Array Config Errest Lac List Logic Logs Sim Sys
+lib/core/flow.ml: Aig Array Config Errest Fault Float Hashtbl Journal Lac List Logic Logs Option Printexc Printf Sim Sys

@@ -1,1 +1,1 @@
-lib/core/flow.mli: Aig Config
+lib/core/flow.mli: Aig Config Fault Journal

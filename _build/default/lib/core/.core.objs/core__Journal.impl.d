@@ -1,0 +1,1 @@
+lib/core/journal.ml: Aig Array Buffer Char Circuit_io Config Errest Filename Int64 List Printf String Sys

@@ -18,6 +18,10 @@ type t = {
   input_probs : float array option;
   max_depth_growth : float;
   use_odc : bool;
+  guard : bool;
+  guard_tol : float;
+  confidence : float;
+  fault : Fault.plan;
 }
 
 let default ~metric ~threshold =
@@ -39,6 +43,10 @@ let default ~metric ~threshold =
     input_probs = None;
     max_depth_growth = 1.3;
     use_odc = false;
+    guard = true;
+    guard_tol = 1e-9;
+    confidence = 0.999;
+    fault = Fault.none;
   }
 
 let pp ppf t =

@@ -28,6 +28,23 @@ type t = {
       (** ODC-aware care sets: mask out care-simulation rounds on which the
           target's value is (heuristically) unobservable at the outputs — an
           extension beyond the paper, benched as an ablation *)
+  guard : bool;
+      (** guarded transforms: after every accepted LAC (and the final resyn
+          pass), re-check structural invariants and probe the measured error
+          against the prediction; on violation roll back to the last good
+          graph and quarantine the target instead of keeping a poisoned
+          circuit.  Default on. *)
+  guard_tol : float;
+      (** absolute slack allowed between the predicted candidate error and
+          the re-measured error before the guard trips (exact transforms
+          should agree bit-for-bit; this only absorbs float-summation
+          noise) *)
+  confidence : float;
+      (** confidence for the Hoeffding-certified upper bound on the final
+          sampled error (reported for [Er]; see {!Errest.Certify}) *)
+  fault : Fault.plan;
+      (** deterministic fault injection for resilience tests; {!Fault.none}
+          (the default) disables every hook *)
 }
 
 val default : metric:Errest.Metrics.kind -> threshold:float -> t

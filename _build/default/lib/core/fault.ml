@@ -1,0 +1,55 @@
+exception Injected of string
+
+exception Killed
+
+type kind =
+  | Flip_signatures of { iteration : int; bit : int }
+  | Corrupt_lac of { iteration : int }
+  | Raise_at of { iteration : int }
+  | Kill_after of { applied : int }
+
+type plan = kind list
+
+let none = []
+
+let flip_signatures plan ~iteration =
+  List.find_map
+    (function
+      | Flip_signatures f when f.iteration = iteration -> Some f.bit
+      | _ -> None)
+    plan
+
+let corrupt_lac plan ~iteration =
+  List.exists (function Corrupt_lac f -> f.iteration = iteration | _ -> false) plan
+
+let should_raise plan ~iteration =
+  List.exists (function Raise_at f -> f.iteration = iteration | _ -> false) plan
+
+let should_kill plan ~applied =
+  List.exists (function Kill_after f -> applied >= f.applied | _ -> false) plan
+
+(* ---------- File corruption (for journal-recovery tests) ---------- *)
+
+let truncate_file path ~keep =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let keep = max 0 (min keep len) in
+  let contents = really_input_string ic keep in
+  close_in ic;
+  (* Deliberately NOT atomic: the whole point is to fabricate the torn file
+     an atomic writer never produces. *)
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let corrupt_byte path ~pos =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = Bytes.of_string (really_input_string ic len) in
+  close_in ic;
+  if len = 0 then failwith "Fault.corrupt_byte: empty file";
+  let pos = pos mod len in
+  Bytes.set contents pos (Char.chr (Char.code (Bytes.get contents pos) lxor 0x2a));
+  let oc = open_out_bin path in
+  output_bytes oc contents;
+  close_out oc

@@ -1,0 +1,56 @@
+(** Deterministic fault injection for resilience testing.
+
+    A {!plan} (carried in {!Config.t}) names exact flow iterations at which
+    the runtime deliberately misbehaves, so tests can prove that each
+    recovery path — guard rollback, LAC quarantine, exception containment,
+    journal fallback — actually fires.  With the default empty plan every
+    hook below is a no-op and costs one list scan per iteration. *)
+
+exception Injected of string
+(** Raised by the flow at a [Raise_at] site; also usable by tests. *)
+
+exception Killed
+(** Raised at a [Kill_after] site.  The flow deliberately does NOT recover
+    from this one: it simulates an abrupt process death for kill-and-resume
+    tests, escaping past all guards (the journal on disk stays valid). *)
+
+type kind =
+  | Flip_signatures of { iteration : int; bit : int }
+      (** Flip bit [bit] of every node's evaluation signature at the given
+          iteration — a soft-error model that silently skews the error
+          predictions of all LAC candidates scored that iteration. *)
+  | Corrupt_lac of { iteration : int }
+      (** Replace the chosen LAC's resubstitution function with a constant
+          before it is applied, modeling a buggy ISOP/factoring step: the
+          prediction was made for the true function, the graph gets the
+          wrong one. *)
+  | Raise_at of { iteration : int }
+      (** Raise {!Injected} mid-iteration. *)
+  | Kill_after of { applied : int }
+      (** Raise {!Killed} at the top of the first iteration with at least
+          [applied] accepted LACs. *)
+
+type plan = kind list
+
+val none : plan
+
+val flip_signatures : plan -> iteration:int -> int option
+(** The bit to flip this iteration, if any. *)
+
+val corrupt_lac : plan -> iteration:int -> bool
+
+val should_raise : plan -> iteration:int -> bool
+
+val should_kill : plan -> applied:int -> bool
+
+(** {1 File corruption helpers}
+
+    For journal-recovery tests: fabricate the torn or bit-rotted files that
+    the atomic writer itself can never produce. *)
+
+val truncate_file : string -> keep:int -> unit
+(** Truncate a file in place to its first [keep] bytes (clamped). *)
+
+val corrupt_byte : string -> pos:int -> unit
+(** XOR one byte of the file at offset [pos mod size].  Fails on an empty
+    file. *)

@@ -1,7 +1,7 @@
 module Graph = Aig.Graph
 module Bitvec = Logic.Bitvec
 
-type event = {
+type event = Journal.event = {
   iteration : int;
   target : int;
   est_error : float;
@@ -16,9 +16,14 @@ type report = {
   output_ands : int;
   applied : int;
   final_est_error : float;
+  certified_upper : float option;
   final_rounds : int;
   runtime_s : float;
   stop_reason : stop_reason;
+  guard_rejects : int;
+  recovered_exns : int;
+  quarantined : int;
+  resumed : bool;
   events : event list;
 }
 
@@ -48,33 +53,100 @@ let eval_patterns rng (config : Config.t) npis =
   then Sim.Patterns.exhaustive ~npis
   else gen_patterns rng config ~npis ~len:config.eval_rounds
 
-let run ~(config : Config.t) g0 =
+(* Quarantine key of a node: a hash of its evaluation signature.  The eval
+   pattern set is fixed for the whole run, so the key survives the node-id
+   renumbering of rebuild/compact — a misbehaving target stays quarantined
+   even after the graph around it changes. *)
+let sig_hash v =
+  Array.fold_left
+    (fun h w -> ((h * 1000003) lxor w) land max_int)
+    (Bitvec.length v) (Bitvec.unsafe_words v)
+
+(* Exceptions the per-iteration recovery wrapper must never swallow. *)
+let fatal = function
+  | Fault.Killed | Stack_overflow | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let max_recovered_exns = 50
+
+let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state option)
+    g_start =
   let t_start = Sys.time () in
-  let rng = Logic.Rng.create config.seed in
-  let original = Graph.compact g0 in
   let npis = Graph.num_pis original in
-  let eval_pats = eval_patterns (Logic.Rng.split rng) config npis in
+  let rng0 = Logic.Rng.create config.seed in
+  let eval_pats = eval_patterns (Logic.Rng.split rng0) config npis in
   let golden = Sim.Engine.simulate_pos original eval_pats in
-  let g = ref (optimize config original) in
+  (* On resume the journal's RNG state supersedes the fresh stream: pattern
+     generation continues exactly where the interrupted run left off. *)
+  let rng =
+    match init with None -> rng0 | Some s -> Logic.Rng.of_state s.Journal.rng_state
+  in
+  let g = ref (match init with None -> optimize config g_start | Some _ -> g_start) in
   let depth_limit =
     if config.max_depth_growth = infinity then max_int
     else
       int_of_float
         (ceil (config.max_depth_growth *. float_of_int (max 1 (Aig.Topo.depth original))))
   in
-  let rounds = ref config.sim_rounds in
-  let patience = ref 0 in
-  let shrinks_at_floor = ref 0 in
-  let applied = ref 0 in
-  let iteration = ref 0 in
-  let events = ref [] in
-  let last_error = ref 0.0 in
+  let field f default = match init with None -> default | Some s -> f s in
+  let rounds = ref (field (fun s -> s.Journal.rounds) config.sim_rounds) in
+  let patience = ref (field (fun s -> s.Journal.patience) 0) in
+  let shrinks_at_floor = ref (field (fun s -> s.Journal.shrinks_at_floor) 0) in
+  let applied = ref (field (fun s -> s.Journal.applied) 0) in
+  let iteration = ref (field (fun s -> s.Journal.iteration) 0) in
+  let events = ref (field (fun s -> s.Journal.events) []) in
+  let last_error = ref (field (fun s -> s.Journal.last_error) 0.0) in
+  let guard_rejects = ref (field (fun s -> s.Journal.guard_rejects) 0) in
+  let recovered_exns = ref (field (fun s -> s.Journal.recovered_exns) 0) in
+  let accepts_since_full = ref (field (fun s -> s.Journal.accepts_since_full) 0) in
+  let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  field (fun s -> List.iter (fun h -> Hashtbl.replace quarantine h ()) s.Journal.quarantined) ();
   let finished = ref false in
   let stop_reason = ref Max_iters in
+  let snapshot () =
+    {
+      Journal.rng_state = Logic.Rng.state rng;
+      rounds = !rounds;
+      patience = !patience;
+      shrinks_at_floor = !shrinks_at_floor;
+      applied = !applied;
+      iteration = !iteration;
+      accepts_since_full = !accepts_since_full;
+      last_error = !last_error;
+      guard_rejects = !guard_rejects;
+      recovered_exns = !recovered_exns;
+      quarantined =
+        List.sort compare (Hashtbl.fold (fun h () acc -> h :: acc) quarantine []);
+      events = !events;
+    }
+  in
+  let measure_error g' =
+    Errest.Metrics.measure config.metric ~golden
+      ~approx:(Sim.Engine.simulate_pos g' eval_pats)
+  in
+  (* The guard: a candidate graph is kept only if it passes the structural
+     invariants AND a signature-consistency probe — every transform between
+     prediction and commit is exact, so the re-measured error must agree
+     with the predicted one (within float-summation noise).  Returns the
+     violation, if any. *)
+  let guard_violation g' ~predicted =
+    if not config.guard then None
+    else if Graph.num_pis g' <> npis || Graph.num_pos g' <> Graph.num_pos original then
+      Some "PI/PO interface changed"
+    else
+      match Aig.Check.check g' with
+      | Error msg -> Some msg
+      | Ok () ->
+          let measured = measure_error g' in
+          if Float.abs (measured -. predicted) > config.guard_tol then
+            Some
+              (Printf.sprintf "signature probe: measured %.9g vs predicted %.9g"
+                 measured predicted)
+          else None
+  in
   (* Under Compress2, the full pipeline runs every tenth accepted LAC and at
      the end; the cheap sweep+balance runs in between.  This keeps the large
      arithmetic circuits tractable without giving up the final quality. *)
-  let accepts_since_full = ref 0 in
   let optimize_step replaced =
     match config.resyn with
     | Config.No_resyn -> Graph.compact replaced
@@ -87,37 +159,57 @@ let run ~(config : Config.t) g0 =
         end
         else Aig.Resyn.light replaced
   in
-  while
-    (not !finished) && !applied < config.max_iters
-    && Sys.time () -. t_start < config.max_seconds
-  do
-    incr iteration;
+  let shrink_rounds () =
+    incr patience;
+    if !patience >= config.patience then begin
+      patience := 0;
+      if !rounds > config.min_rounds then
+        rounds := max config.min_rounds (int_of_float (float_of_int !rounds *. config.scale))
+      else begin
+        incr shrinks_at_floor;
+        if !shrinks_at_floor > 3 then begin
+          stop_reason := Stalled;
+          finished := true
+        end
+      end
+    end
+  in
+  let iteration_body () =
     let care_pats = gen_patterns rng config ~npis ~len:!rounds in
     let care_sigs = Sim.Engine.simulate !g care_pats in
+    if Fault.should_raise config.fault ~iteration:!iteration then
+      raise (Fault.Injected (Printf.sprintf "injected exception at iteration %d" !iteration));
     let obs =
       if config.use_odc then Some (Errest.Observability.masks !g ~sigs:care_sigs)
       else None
     in
     let lacs = Lac.generate ?obs !g ~config ~sigs:care_sigs ~rounds:!rounds in
-    if lacs = [] then begin
+    if lacs = [] then
       (* Algorithm 3 line 10: only after [t] consecutive empty iterations is
          the care set shrunk; fresh patterns alone may unblock us. *)
-      incr patience;
-      if !patience >= config.patience then begin
-        patience := 0;
-        if !rounds > config.min_rounds then
-          rounds := max config.min_rounds (int_of_float (float_of_int !rounds *. config.scale))
-        else begin
-          incr shrinks_at_floor;
-          if !shrinks_at_floor > 3 then begin
-            stop_reason := Stalled;
-            finished := true
-          end
-        end
-      end
-    end
+      shrink_rounds ()
     else begin
       let base_sigs = Sim.Engine.simulate !g eval_pats in
+      (match Fault.flip_signatures config.fault ~iteration:!iteration with
+      | Some bit ->
+          (* Soft-error model: skew every node's evaluation signature, so the
+             error predictions below no longer describe the real graph. *)
+          Array.iter
+            (fun s ->
+              let len = Bitvec.length s in
+              if len > 0 then begin
+                let b = bit mod len in
+                Bitvec.set s b (not (Bitvec.get s b))
+              end)
+            base_sigs
+      | None -> ());
+      (* Quarantined targets are dead to the run: a LAC on them already broke
+         the guard once. *)
+      let lacs =
+        List.filter
+          (fun (lac : Lac.t) -> not (Hashtbl.mem quarantine (sig_hash base_sigs.(lac.Lac.target))))
+          lacs
+      in
       let batch = Errest.Batch.create !g ~metric:config.metric ~golden ~base:base_sigs in
       let scored =
         List.map
@@ -139,6 +231,7 @@ let run ~(config : Config.t) g0 =
             if c <> 0 then c else compare l2.Lac.gain l1.Lac.gain)
           scored
       in
+      let corrupt_pending = ref (Fault.corrupt_lac config.fault ~iteration:!iteration) in
       let rec try_apply ~skipped = function
         | [] -> `No_progress
         | (err, _) :: _ when err > config.threshold *. config.margin ->
@@ -148,10 +241,21 @@ let run ~(config : Config.t) g0 =
                patterns try again first. *)
             if skipped then `No_progress else `Over_budget
         | (err, (lac : Lac.t)) :: rest ->
+            let replacement =
+              if !corrupt_pending then begin
+                (* Injected ISOP corruption: commit a constant in place of
+                   the derived function; the prediction above still
+                   describes the true one, so the guard must trip. *)
+                corrupt_pending := false;
+                let s = base_sigs.(lac.Lac.target) in
+                if 2 * Bitvec.popcount s > Bitvec.length s then Graph.Replace_lit Graph.const0
+                else Graph.Replace_lit Graph.const1
+              end
+              else Lac.replacement lac
+            in
             let replaced =
               Graph.rebuild
-                ~replace:(fun id ->
-                  if id = lac.Lac.target then Some (Lac.replacement lac) else None)
+                ~replace:(fun id -> if id = lac.Lac.target then Some replacement else None)
                 !g
             in
             (* Cheap progress check on the raw rebuild; the (expensive)
@@ -160,37 +264,46 @@ let run ~(config : Config.t) g0 =
             if
               Graph.num_ands replaced < Graph.num_ands !g
               && Aig.Topo.depth replaced <= depth_limit
-              &&
+            then begin
+              let optimized = optimize_step replaced in
               (* The optimizer itself may deepen (refactor trades depth for
                  area); guard the graph we would actually keep. *)
-              (let optimized = optimize_step replaced in
-               if Aig.Topo.depth optimized <= depth_limit then begin
-                 g := optimized;
-                 true
-               end
-               else false)
-            then begin
-              incr applied;
-              last_error := err;
-              events :=
-                {
-                  iteration = !iteration;
-                  target = lac.Lac.target;
-                  est_error = err;
-                  ands_after = Graph.num_ands !g;
-                  rounds = !rounds;
-                }
-                :: !events;
-              Log.debug (fun m ->
-                  m "iter %d: applied LAC on node %d, err %.5f, ands %d" !iteration
-                    lac.Lac.target err (Graph.num_ands !g));
-              `Applied
+              if Aig.Topo.depth optimized > depth_limit then try_apply ~skipped:true rest
+              else
+                match guard_violation optimized ~predicted:err with
+                | Some violation ->
+                    (* Roll back (the candidate graph is simply dropped) and
+                       quarantine the target for the rest of the run. *)
+                    incr guard_rejects;
+                    Hashtbl.replace quarantine (sig_hash base_sigs.(lac.Lac.target)) ();
+                    Log.warn (fun m ->
+                        m "iter %d: guard rejected LAC on node %d (%s); rolled back"
+                          !iteration lac.Lac.target violation);
+                    try_apply ~skipped:true rest
+                | None ->
+                    g := optimized;
+                    incr applied;
+                    last_error := err;
+                    events :=
+                      {
+                        iteration = !iteration;
+                        target = lac.Lac.target;
+                        est_error = err;
+                        ands_after = Graph.num_ands !g;
+                        rounds = !rounds;
+                      }
+                      :: !events;
+                    Log.debug (fun m ->
+                        m "iter %d: applied LAC on node %d, err %.5f, ands %d" !iteration
+                          lac.Lac.target err (Graph.num_ands !g));
+                    `Applied
             end
             else try_apply ~skipped:true rest
       in
       match try_apply ~skipped:false ranked with
       | `Applied ->
           patience := 0;
+          (match journal with Some j -> Journal.record j (snapshot ()) !g | None -> ());
           if Graph.num_ands !g = 0 then begin
             stop_reason := Emptied;
             finished := true
@@ -201,21 +314,28 @@ let run ~(config : Config.t) g0 =
       | `No_progress ->
           (* All candidates were no-ops: treat like an empty candidate set
              so the dynamic-N schedule can unblock us. *)
-          incr patience;
-          if !patience >= config.patience then begin
-            patience := 0;
-            if !rounds > config.min_rounds then
-              rounds :=
-                max config.min_rounds (int_of_float (float_of_int !rounds *. config.scale))
-            else begin
-              incr shrinks_at_floor;
-              if !shrinks_at_floor > 3 then begin
-                stop_reason := Stalled;
-                finished := true
-              end
-            end
-          end
+          shrink_rounds ()
     end
+  in
+  while
+    (not !finished) && !applied < config.max_iters
+    && Sys.time () -. t_start < config.max_seconds
+  do
+    if Fault.should_kill config.fault ~applied:!applied then raise Fault.Killed;
+    incr iteration;
+    (* Containment: an iteration that blows up (an internal bug, or an
+       injected fault) abandons its partial work — [!g] still holds the last
+       good graph — and the flow moves on to fresh patterns. *)
+    try iteration_body ()
+    with e when not (fatal e) ->
+      incr recovered_exns;
+      Log.warn (fun m ->
+          m "iter %d: recovered from exception %s; continuing from last good graph"
+            !iteration (Printexc.to_string e));
+      if !recovered_exns >= max_recovered_exns then begin
+        stop_reason := Stalled;
+        finished := true
+      end
   done;
   if (not !finished) && !applied >= config.max_iters then stop_reason := Max_iters;
   if Sys.time () -. t_start >= config.max_seconds then stop_reason := Timed_out;
@@ -225,18 +345,63 @@ let run ~(config : Config.t) g0 =
       if
         Graph.num_ands final < Graph.num_ands !g
         && Aig.Topo.depth final <= depth_limit
-      then g := final
+      then begin
+        (* Guard the hand-off exactly like an accepted LAC: compress2 is an
+           exact transform, so the error must be bit-for-bit unchanged. *)
+        match
+          if config.guard then guard_violation final ~predicted:(measure_error !g)
+          else None
+        with
+        | None -> g := final
+        | Some violation ->
+            incr guard_rejects;
+            Log.warn (fun m -> m "final resyn pass rejected by guard (%s); rolled back" violation)
+      end
   | Config.No_resyn | Config.Light -> ());
   let final_approx = Sim.Engine.simulate_pos !g eval_pats in
   let final_err = Errest.Metrics.measure config.metric ~golden ~approx:final_approx in
+  let eval_len =
+    if Array.length eval_pats > 0 then Bitvec.length eval_pats.(0) else config.eval_rounds
+  in
+  let certified_upper =
+    (* Hoeffding needs [0,1]-bounded per-round samples: true for ER (0/1
+       mismatch indicators) and NMED (error distances normalized by the
+       maximum), not for MRED. *)
+    match config.metric with
+    | Errest.Metrics.Er | Errest.Metrics.Nmed ->
+        Some
+          (Errest.Certify.upper_bound ~sampled:final_err ~samples:eval_len
+             ~confidence:config.confidence)
+    | Errest.Metrics.Mred -> None
+  in
   ( !g,
     {
       input_ands = Graph.num_ands original;
       output_ands = Graph.num_ands !g;
       applied = !applied;
       final_est_error = final_err;
+      certified_upper;
       final_rounds = !rounds;
       runtime_s = Sys.time () -. t_start;
       stop_reason = !stop_reason;
+      guard_rejects = !guard_rejects;
+      recovered_exns = !recovered_exns;
+      quarantined = Hashtbl.length quarantine;
+      resumed = init <> None;
       events = List.rev !events;
     } )
+
+let run ?journal ~(config : Config.t) g0 =
+  let original = Graph.compact g0 in
+  let j = Option.map (fun dir -> Journal.create ~dir ~config ~original) journal in
+  run_loop ~config ~journal:j ~original ~init:None original
+
+let resume ?(fault = Fault.none) dir =
+  let r = Journal.load dir in
+  (match r.Journal.degraded with
+  | Some msg -> Log.warn (fun m -> m "resume: %s" msg)
+  | None -> ());
+  let config = { r.Journal.config with Config.fault } in
+  let j = Journal.reopen dir in
+  run_loop ~config ~journal:(Some j) ~original:r.Journal.original
+    ~init:r.Journal.state r.Journal.graph

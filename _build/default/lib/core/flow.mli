@@ -1,13 +1,35 @@
-(** The ALSRAC flow (Algorithm 3).
+(** The ALSRAC flow (Algorithm 3), hardened into a resilient runtime.
 
     Iteratively: simulate fresh random care patterns, generate LAC
     candidates, score every candidate with batch error estimation against
     the ORIGINAL circuit, apply the best one if it respects the error
     threshold, re-optimize with traditional synthesis, and dynamically shrink
     the simulation round [N] whenever no candidate exists for [t] consecutive
-    iterations. *)
+    iterations.
 
-type event = {
+    Three resilience mechanisms wrap the loop (see DESIGN.md, "Resilience &
+    recovery"):
+
+    - {b Guarded transforms} ([Config.guard], default on): every graph about
+      to be committed — an accepted LAC after re-optimization, and the final
+      resyn hand-off — must pass {!Aig.Check.check} plus a
+      signature-consistency probe (its re-measured error on the evaluation
+      sample must equal the predicted error; all transforms between
+      prediction and commit are exact).  A violation rolls the flow back to
+      the last good graph, quarantines the offending target (keyed by its
+      evaluation-signature hash, stable across rebuilds) for the rest of the
+      run, and continues.
+    - {b Exception containment}: an iteration that raises (internal bug or
+      injected fault) is abandoned; the last good graph is untouched and the
+      flow continues with fresh patterns, up to a bounded number of
+      recoveries.
+    - {b Journaling} ([?journal]): after every accepted LAC the complete
+      loop state and graph are checkpointed atomically via {!Journal};
+      {!resume} restores a run mid-flight and — because all randomness flows
+      from the single checkpointed stream — finishes with the exact circuit
+      an uninterrupted run produces. *)
+
+type event = Journal.event = {
   iteration : int;
   target : int;  (** node replaced *)
   est_error : float;  (** sampled error after the change *)
@@ -17,7 +39,9 @@ type event = {
 
 type stop_reason =
   | Budget_exhausted  (** best candidate error exceeded the threshold *)
-  | Stalled  (** no productive candidate at the minimum simulation round *)
+  | Stalled
+      (** no productive candidate at the minimum simulation round, or the
+          recovered-exception cap was hit *)
   | Max_iters
   | Emptied  (** the circuit shrank to constants *)
   | Timed_out  (** the [max_seconds] wall-clock budget ran out *)
@@ -27,12 +51,31 @@ type report = {
   output_ands : int;
   applied : int;  (** number of accepted LACs *)
   final_est_error : float;  (** error on the flow's evaluation sample *)
+  certified_upper : float option;
+      (** Hoeffding-certified upper bound on the true error at
+          [Config.confidence] ({!Errest.Certify}); [None] for metrics whose
+          per-round samples are not [0,1]-bounded (MRED) *)
   final_rounds : int;  (** value of [N] at exit *)
   runtime_s : float;  (** CPU seconds *)
   stop_reason : stop_reason;
-  events : event list;  (** in application order *)
+  guard_rejects : int;  (** transforms rolled back by the guard *)
+  recovered_exns : int;  (** iterations abandoned after an exception *)
+  quarantined : int;  (** targets barred for the rest of the run *)
+  resumed : bool;  (** this report continues a journaled run *)
+  events : event list;  (** in application order, including pre-resume *)
 }
 
-val run : config:Config.t -> Aig.Graph.t -> Aig.Graph.t * report
+val run : ?journal:string -> config:Config.t -> Aig.Graph.t -> Aig.Graph.t * report
 (** Returns the approximate circuit (same PI/PO interface) and the run
-    report.  The input graph is not modified. *)
+    report.  The input graph is not modified.  [?journal] names a run
+    directory to checkpoint into ({!Journal.create} — a fresh run, wiping
+    any previous checkpoints there). *)
+
+val resume : ?fault:Fault.plan -> string -> Aig.Graph.t * report
+(** Resume an interrupted journaled run from its directory: the config is
+    read back from the manifest, the loop state and graph from the newest
+    readable checkpoint (falling back per {!Journal.load}), and the run
+    continues — journaling into the same directory — to the same final
+    circuit as an uninterrupted run.  [?fault] installs a fault plan for the
+    resumed portion (testing only; plans are never persisted).  Raises
+    [Failure] if the directory is not a usable journal. *)

@@ -1,1 +1,1 @@
-lib/io/aiger.ml: Aig Array Buffer Fun List Option Printf String
+lib/io/aiger.ml: Aig Array Atomic_file Buffer List Option Printf String

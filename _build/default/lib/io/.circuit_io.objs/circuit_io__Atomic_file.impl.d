@@ -1,0 +1,1 @@
+lib/io/atomic_file.ml: Fun Hashtbl Printf Sys

@@ -1,0 +1,1 @@
+lib/io/atomic_file.mli:

@@ -1,1 +1,1 @@
-lib/io/bench_fmt.ml: Aig Buffer Fun Hashtbl List Printf String
+lib/io/bench_fmt.ml: Aig Atomic_file Buffer Hashtbl List Printf String

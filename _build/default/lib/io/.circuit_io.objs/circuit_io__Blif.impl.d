@@ -1,1 +1,1 @@
-lib/io/blif.ml: Aig Array Buffer Fun Hashtbl List Logic Printf String Techmap
+lib/io/blif.ml: Aig Array Atomic_file Buffer Hashtbl List Logic Printf String Techmap

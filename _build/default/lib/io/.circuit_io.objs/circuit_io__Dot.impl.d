@@ -1,1 +1,1 @@
-lib/io/dot.ml: Aig Buffer Fun Printf
+lib/io/dot.ml: Aig Atomic_file Buffer Printf

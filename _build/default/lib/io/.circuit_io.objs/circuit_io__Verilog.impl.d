@@ -1,1 +1,1 @@
-lib/io/verilog.ml: Aig Array Buffer Fun List Logic Printf String Techmap
+lib/io/verilog.ml: Aig Array Atomic_file Buffer List Logic Printf String Techmap

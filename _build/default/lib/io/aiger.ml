@@ -45,18 +45,15 @@ let graph_to_string g =
   Buffer.add_string buf (Printf.sprintf "c\n%s\n" (Graph.name g));
   Buffer.contents buf
 
-let write_graph path g =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (graph_to_string g))
+let write_graph path g = Atomic_file.write path (graph_to_string g)
 
-let parse text =
+let parse_exn text =
   let lines = String.split_on_char '\n' text in
   let fail lineno fmt =
     Printf.ksprintf (fun s -> failwith (Printf.sprintf "aiger:%d: %s" lineno s)) fmt
   in
   match lines with
-  | [] -> failwith "aiger: empty input"
+  | [] -> failwith "aiger:1: empty input"
   | header :: rest -> (
       let ints_of lineno s =
         String.split_on_char ' ' s
@@ -67,14 +64,31 @@ let parse text =
                | None -> fail lineno "bad integer %S" t)
       in
       if not (String.length header >= 4 && String.sub header 0 4 = "aag ") then
-        failwith "aiger: only the ASCII (aag) variant is supported"
+        failwith "aiger:1: only the ASCII (aag) variant is supported"
       else (
           match ints_of 1 (String.sub header 4 (String.length header - 4)) with
           | [ m; i; l; o; a ] ->
-              if l <> 0 then failwith "aiger: latches are not supported";
+              if m < 0 || i < 0 || l < 0 || o < 0 || a < 0 then
+                fail 1 "negative count in header";
+              if l <> 0 then fail 1 "latches are not supported";
+              (* Bound every allocation by the actual input size BEFORE
+                 touching the heap: a header is one short line and may claim
+                 arbitrary counts, but each declared input/output/AND needs
+                 its own line of text to back it. *)
+              let nlines = List.length rest in
+              if i > nlines || o > nlines || a > nlines then
+                fail 1 "header declares more entries (%d/%d/%d) than the %d lines present"
+                  i o a nlines;
+              if i + o + a > nlines then
+                fail 1 "header declares more entries than the %d lines present" nlines;
+              (* With no latches every variable must be an input or an AND;
+                 this also caps the variable table by the line count above. *)
+              if m > i + a then
+                fail 1 "header claims %d variables but only %d definitions" m (i + a);
               let g = Graph.create ~name:"aiger" () in
               (* lit_map.(aiger var) = our literal for the positive phase. *)
               let lit_map = Array.make (m + 1) Graph.const0 in
+              let declared = Array.make (m + 1) false in
               let lineno = ref 1 in
               let take = ref rest in
               let next_line () =
@@ -85,22 +99,37 @@ let parse text =
                     take := tl;
                     String.trim x
               in
+              let declare ln v =
+                if v < 1 || v > m then fail ln "variable %d out of range [1, %d]" v m;
+                if declared.(v) then fail ln "variable %d defined twice" v;
+                declared.(v) <- true
+              in
+              let check_rhs ln lit =
+                if lit < 0 || lit / 2 > m then fail ln "literal %d out of range" lit
+              in
               let input_vars = Array.make i 0 in
               for k = 0 to i - 1 do
                 match ints_of !lineno (next_line ()) with
-                | [ lit ] when lit >= 2 && lit mod 2 = 0 -> input_vars.(k) <- lit / 2
+                | [ lit ] when lit >= 2 && lit mod 2 = 0 ->
+                    declare !lineno (lit / 2);
+                    input_vars.(k) <- lit / 2
                 | _ -> fail !lineno "bad input literal"
               done;
               let po_lits = Array.make o 0 in
               for k = 0 to o - 1 do
                 match ints_of !lineno (next_line ()) with
-                | [ lit ] -> po_lits.(k) <- lit
+                | [ lit ] ->
+                    check_rhs !lineno lit;
+                    po_lits.(k) <- lit
                 | _ -> fail !lineno "bad output literal"
               done;
               let and_defs = Array.make a (0, 0, 0) in
               for k = 0 to a - 1 do
                 match ints_of !lineno (next_line ()) with
                 | [ lhs; r0; r1 ] when lhs mod 2 = 0 && lhs >= 2 ->
+                    declare !lineno (lhs / 2);
+                    check_rhs !lineno r0;
+                    check_rhs !lineno r1;
                     and_defs.(k) <- (lhs, r0, r1)
                 | _ -> fail !lineno "bad AND definition"
               done;
@@ -152,11 +181,15 @@ let parse text =
                   ignore (Graph.add_po ~name g (our_lit lit)))
                 po_lits;
               g
-          | _ -> failwith "aiger: malformed header"))
+          | _ -> failwith "aiger:1: malformed header"))
 
-let read path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse text
+(* Backstop: the checks above should make every malformed input fail with a
+   line-numbered [Failure]; anything else slipping out of the parser is a
+   parser bug, but callers are still promised plain [Failure]. *)
+let parse text =
+  try parse_exn text with
+  | Failure _ as e -> raise e
+  | Invalid_argument msg -> failwith (Printf.sprintf "aiger: malformed input (%s)" msg)
+  | Not_found -> failwith "aiger: malformed input"
+
+let read path = parse (Atomic_file.read path)

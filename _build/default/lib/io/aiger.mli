@@ -10,9 +10,14 @@
 val graph_to_string : Aig.Graph.t -> string
 
 val write_graph : string -> Aig.Graph.t -> unit
+(** Atomic: goes through {!Atomic_file.write}, so a crash mid-write never
+    leaves a truncated file. *)
 
 val parse : string -> Aig.Graph.t
 (** Raises [Failure] with a line-numbered message on malformed input or on
-    sequential (latch) content. *)
+    sequential (latch) content — no other exception escapes.  Declared
+    header counts are bounds-checked against the actual input size before
+    any allocation, so a hostile header (e.g. claiming [10^9] ANDs) fails
+    fast instead of exhausting memory. *)
 
 val read : string -> Aig.Graph.t

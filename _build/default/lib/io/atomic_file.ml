@@ -1,0 +1,34 @@
+(* Crash-safe file replacement: write the full contents to a temporary file
+   in the destination directory, then rename it over the target.  On POSIX
+   systems rename within a filesystem is atomic, so a reader (or a process
+   resuming after a crash) sees either the old contents or the new — never a
+   truncated mix. *)
+
+let counter = ref 0
+
+let temp_path path =
+  incr counter;
+  Printf.sprintf "%s.tmp.%d.%d" path (Hashtbl.hash (Sys.executable_name, Sys.time ())) !counter
+
+let write path contents =
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     (* Push the bytes to the OS before the rename makes them visible. *)
+     flush oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with Sys_error _ as e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,16 @@
+(** Atomic whole-file replacement (write-to-temp + rename).
+
+    All circuit and journal output in this repository goes through {!write},
+    so a crash mid-write can never leave a truncated or half-updated file on
+    disk: the target either still holds its previous contents or the complete
+    new contents. *)
+
+val write : string -> string -> unit
+(** [write path contents] atomically replaces [path] with [contents].  The
+    temporary file lives next to [path] (same directory, hence same
+    filesystem) so the final rename is atomic.  Raises [Sys_error] on I/O
+    failure, in which case the temporary file is removed and [path] is left
+    untouched. *)
+
+val read : string -> string
+(** Read a whole file into a string.  Raises [Sys_error] if unreadable. *)

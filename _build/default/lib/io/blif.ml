@@ -45,9 +45,7 @@ let graph_to_string g =
   Buffer.add_string buf ".end\n";
   Buffer.contents buf
 
-let write_string path s =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+let write_string path s = Atomic_file.write path s
 
 let write_graph path g = write_string path (graph_to_string g)
 
@@ -109,7 +107,7 @@ let write_mapped path m = write_string path (mapped_to_string m)
 
 type names_def = { inputs : string list; rows : (string * char) list }
 
-let parse text =
+let parse_exn text =
   (* Join continuation lines, strip comments, keep line numbers. *)
   let raw_lines = String.split_on_char '\n' text in
   let logical_lines =
@@ -246,9 +244,12 @@ let parse text =
   List.iter (fun n -> ignore (Graph.add_po ~name:n g (lookup n))) !outputs;
   g
 
-let read path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse text
+(* Backstop: malformed input must surface as [Failure] only; no stray
+   [Invalid_argument]/[Not_found] from string or table operations. *)
+let parse text =
+  try parse_exn text with
+  | Failure _ as e -> raise e
+  | Invalid_argument msg -> failwith (Printf.sprintf "blif: malformed input (%s)" msg)
+  | Not_found -> failwith "blif: malformed input"
+
+let read path = parse (Atomic_file.read path)

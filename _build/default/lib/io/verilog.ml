@@ -90,9 +90,7 @@ let graph_to_string g =
   Buffer.add_string buf "endmodule\n";
   Buffer.contents buf
 
-let write_string path s =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+let write_string path s = Atomic_file.write path s
 
 let write_mapped path m = write_string path (mapped_to_string m)
 

@@ -15,6 +15,15 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val state : t -> int64
+(** The raw splitmix64 state, for checkpointing.  Together with {!of_state}
+    this allows a run to be suspended and resumed mid-stream: the restored
+    generator continues the exact sequence of the saved one. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a saved {!state}.  Unlike {!create}, no seed
+    scrambling is applied: [of_state (state t)] continues [t]'s stream. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,1 +1,1 @@
-test/test_io.ml: Aig Alcotest Array Circuit_io Filename Fun Gen Logic QCheck String Sys Techmap Util
+test/test_io.ml: Aig Alcotest Array Circuit_io Filename Fun Gen List Logic Printexc QCheck String Sys Techmap Util

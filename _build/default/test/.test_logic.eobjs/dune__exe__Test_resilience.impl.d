@@ -1,0 +1,1 @@
+test/test_resilience.ml: Aig Alcotest Circuits Core Errest Filename Lazy List Util

@@ -213,9 +213,53 @@ let test_samples_needed_roundtrip () =
     (Errest.Certify.hoeffding_margin ~samples:(n - 100) ~confidence:0.99 > 0.01)
 
 let test_certify_validation () =
-  Alcotest.check_raises "bad confidence"
-    (Invalid_argument "Certify: confidence must be in (0, 1)") (fun () ->
-      ignore (Errest.Certify.hoeffding_margin ~samples:10 ~confidence:1.5))
+  let bad_confidence = Invalid_argument "Certify: confidence must be in (0, 1)" in
+  Alcotest.check_raises "confidence > 1" bad_confidence (fun () ->
+      ignore (Errest.Certify.hoeffding_margin ~samples:10 ~confidence:1.5));
+  Alcotest.check_raises "confidence = 1" bad_confidence (fun () ->
+      ignore (Errest.Certify.hoeffding_margin ~samples:10 ~confidence:1.0));
+  Alcotest.check_raises "confidence = 0" bad_confidence (fun () ->
+      ignore (Errest.Certify.samples_needed ~margin:0.01 ~confidence:0.0));
+  Alcotest.check_raises "zero samples"
+    (Invalid_argument "Certify: sample count must be positive") (fun () ->
+      ignore (Errest.Certify.hoeffding_margin ~samples:0 ~confidence:0.95));
+  Alcotest.check_raises "negative samples"
+    (Invalid_argument "Certify: sample count must be positive") (fun () ->
+      ignore (Errest.Certify.upper_bound ~sampled:0.1 ~samples:(-1) ~confidence:0.95));
+  Alcotest.check_raises "zero margin"
+    (Invalid_argument "Certify: margin must be positive") (fun () ->
+      ignore (Errest.Certify.samples_needed ~margin:0.0 ~confidence:0.95))
+
+let test_certify_monotone () =
+  (* Margin strictly shrinks as samples grow... *)
+  let prev = ref infinity in
+  List.iter
+    (fun samples ->
+      let m = Errest.Certify.hoeffding_margin ~samples ~confidence:0.999 in
+      check "monotone in samples" true (m < !prev);
+      prev := m)
+    [ 10; 100; 1_000; 10_000; 100_000 ];
+  (* ...and strictly grows with the confidence demanded. *)
+  let prev = ref 0.0 in
+  List.iter
+    (fun confidence ->
+      let m = Errest.Certify.hoeffding_margin ~samples:4096 ~confidence in
+      check "monotone in confidence" true (m > !prev);
+      prev := m)
+    [ 0.5; 0.9; 0.99; 0.999; 0.9999 ]
+
+(* samples_needed is the least count whose margin meets the request: the
+   returned [n] suffices and [n - 1] does not. *)
+let prop_samples_needed_minimal =
+  QCheck.Test.make ~name:"samples_needed is minimal" ~count:200
+    QCheck.(pair (float_range 0.001 0.3) (float_range 0.5 0.9999))
+    (fun (margin, confidence) ->
+      let n = Errest.Certify.samples_needed ~margin ~confidence in
+      n >= 1
+      && Errest.Certify.hoeffding_margin ~samples:n ~confidence <= margin +. 1e-12
+      && (n = 1
+         || Errest.Certify.hoeffding_margin ~samples:(n - 1) ~confidence
+            > margin -. 1e-12))
 
 let () =
   Alcotest.run "errest"
@@ -247,5 +291,7 @@ let () =
           Alcotest.test_case "certified_le" `Quick test_certified_le;
           Alcotest.test_case "samples needed" `Quick test_samples_needed_roundtrip;
           Alcotest.test_case "validation" `Quick test_certify_validation;
-        ] );
+          Alcotest.test_case "monotonicity" `Quick test_certify_monotone;
+        ]
+        @ Util.qcheck_cases [ prop_samples_needed_minimal ] );
     ]

@@ -155,17 +155,105 @@ let prop_aiger_roundtrip =
 
 let test_aiger_rejects_binary () =
   Alcotest.check_raises "binary aig"
-    (Failure "aiger: only the ASCII (aag) variant is supported") (fun () ->
+    (Failure "aiger:1: only the ASCII (aag) variant is supported") (fun () ->
       ignore (Circuit_io.Aiger.parse "aig 3 1 0 1 1
 "))
 
 let test_aiger_rejects_latches () =
-  Alcotest.check_raises "latches" (Failure "aiger: latches are not supported")
+  Alcotest.check_raises "latches" (Failure "aiger:1: latches are not supported")
     (fun () -> ignore (Circuit_io.Aiger.parse "aag 3 1 1 1 0
 2
 4 2
 4
 "))
+
+(* ---------- Hostile input ---------- *)
+
+(* A parser fed a corrupted stream must either produce a graph or raise
+   [Failure] — nothing else may escape, and it must not allocate
+   proportionally to counts a hostile header merely claims. *)
+let only_failure name parse text =
+  match parse text with
+  | (_ : Graph.t) -> ()
+  | exception Failure _ -> ()
+  | exception e ->
+      Alcotest.failf "%s leaked %s on %S" name (Printexc.to_string e) text
+
+let test_aiger_hostile_header () =
+  (* A billion declared ANDs backed by four lines of text: must fail fast
+     with a line-numbered Failure, before any table is allocated. *)
+  let bomb = "aag 1000000000 1 0 1 999999998\n2\n2\n4 2 2\n" in
+  (match Circuit_io.Aiger.parse bomb with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      check "line-numbered" true (String.length msg >= 8 && String.sub msg 0 8 = "aiger:1:"));
+  List.iter
+    (only_failure "aiger" Circuit_io.Aiger.parse)
+    [
+      "";
+      "aag 3 -1 0 1 1\n";            (* negative count *)
+      "aag 5 2 0 2 3\n2\n4\n";        (* declares more than present *)
+      "aag 99 2 0 1 2\n2\n4\n6\n6 2 4\n8 6 2\n" (* m exceeds definitions *);
+      "aag 3 1 0 1 1\n2\n6\n6 99 2\n" (* literal out of range *);
+      "aag 3 1 0 1 1\n2\n6\n2 2 2\n"  (* redefines an input *);
+      "aag 2 1 0 1 1\n2\n4\n4 4 2\n"  (* AND depends on itself *);
+    ]
+
+let test_blif_hostile_input () =
+  List.iter
+    (only_failure "blif" Circuit_io.Blif.parse)
+    [
+      "";
+      ".model m\n.inputs a\n.outputs y\n.names a y\n";
+      ".model m\n.outputs y\n.names y\n11 1\n.end\n";
+      ".model m\n.inputs a\n.outputs y\n.names a y\nxx 1\n.end\n";
+    ]
+
+(* Dropping any single character from well-formed text must never make the
+   parser throw anything but [Failure].  (Most drops still parse — AIGER
+   symbol tables are free-form — the point is what escapes when they don't.) *)
+let truncation_prop name to_string parse =
+  QCheck.Test.make ~name ~count:40
+    QCheck.(make Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Logic.Rng.create seed in
+      let g = Util.random_graph rng ~npis:4 ~nands:12 in
+      let text = to_string g in
+      let n = String.length text in
+      for i = 0 to n - 1 do
+        let cut = String.sub text 0 i ^ String.sub text (i + 1) (n - i - 1) in
+        only_failure name parse cut
+      done;
+      (* Byte-level truncation, as a torn write would leave behind. *)
+      for keep = 0 to min 80 n do
+        only_failure name parse (String.sub text 0 keep)
+      done;
+      true)
+
+let prop_aiger_truncation =
+  truncation_prop "aiger survives single-char corruption"
+    Circuit_io.Aiger.graph_to_string Circuit_io.Aiger.parse
+
+let prop_blif_truncation =
+  truncation_prop "blif survives single-char corruption"
+    Circuit_io.Blif.graph_to_string Circuit_io.Blif.parse
+
+let test_atomic_write_replaces () =
+  let path = Filename.temp_file "alsrac_atomic" ".txt" in
+  Circuit_io.Atomic_file.write path "first";
+  check "write" true (Circuit_io.Atomic_file.read path = "first");
+  Circuit_io.Atomic_file.write path "second, longer than the first";
+  check "replace" true (Circuit_io.Atomic_file.read path = "second, longer than the first");
+  (* No temp litter left next to the target. *)
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let litter =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > String.length base
+           && String.sub f 0 (String.length base) = base)
+  in
+  check "no temp files left behind" true (litter = []);
+  Sys.remove path
 
 let test_aiger_known_file () =
   (* The canonical half-adder example: s = a^b, c = a&b. *)
@@ -222,6 +310,13 @@ let () =
           Alcotest.test_case "half adder" `Quick test_aiger_known_file;
         ]
         @ Util.qcheck_cases [ prop_aiger_roundtrip ] );
+      ( "hostile",
+        [
+          Alcotest.test_case "aiger hostile header" `Quick test_aiger_hostile_header;
+          Alcotest.test_case "blif hostile input" `Quick test_blif_hostile_input;
+          Alcotest.test_case "atomic write" `Quick test_atomic_write_replaces;
+        ]
+        @ Util.qcheck_cases [ prop_aiger_truncation; prop_blif_truncation ] );
       ( "verilog-dot",
         [
           Alcotest.test_case "verilog" `Quick test_verilog_output;

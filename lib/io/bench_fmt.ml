@@ -45,10 +45,7 @@ let graph_to_string g =
     end;
   Buffer.contents buf
 
-let write_graph path g =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (graph_to_string g))
+let write_graph path g = Atomic_file.write path (graph_to_string g)
 
 type def = { op : string; args : string list }
 

@@ -8,7 +8,7 @@ val graph_to_string : Aig.Graph.t -> string
 (** One [.names] per AND node plus buffer/constant tables for the POs. *)
 
 val write_graph : string -> Aig.Graph.t -> unit
-(** Write to a file path. *)
+(** Write to a file path (atomically, via {!Atomic_file.write}). *)
 
 val mapped_to_string : Techmap.Mapped.t -> string
 (** One [.names] per cell, rows from an ISOP of the cell function. *)
