@@ -20,6 +20,16 @@ let full_mode =
 
 let seeds = if full_mode then [ 1; 2; 3 ] else [ 1 ]
 
+(* ALSRAC_BENCH_JOBS=<n> fans independent sweep points (threshold x seed
+   runs) across a worker pool; every run itself stays sequential
+   (config.jobs = 1), so per-run results are identical to a serial bench. *)
+let bench_jobs =
+  match Sys.getenv_opt "ALSRAC_BENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 1)
+  | None -> 1
+
+let wall () = Parallel.Clock.now_s ()
+
 let er_thresholds =
   (* Paper: 0.1%, 0.3%, 0.5%, 0.8%, 1%, 3%, 5%. *)
   if full_mode then [ 0.001; 0.003; 0.005; 0.008; 0.01; 0.03; 0.05 ]
@@ -50,7 +60,10 @@ let pct x = 100.0 *. x
 
 (* ---------- Method runners ----------
 
-   Each returns (approximate AIG, runtime seconds). *)
+   Each returns (approximate AIG, CPU seconds).  Wall-clock time is measured
+   around the call by the sweep: [runtime_s] is CPU time, and once runs
+   share the process with a worker pool the two diverge — speedups are only
+   visible on the wall axis. *)
 
 let run_alsrac ~metric ~threshold ~seed g =
   let config =
@@ -99,30 +112,58 @@ let fpga_ratios ~original approx =
       /. float_of_int (max 1 (Techmap.Mapped.depth m0));
   }
 
-(* Average a method over thresholds x seeds on one circuit.  The returned
-   flag marks sweeps in which at least one run hit the wall-clock budget
-   (reported with a '*' — full mode never truncates). *)
-let sweep ~runner ~ratios ~metric ~thresholds entry =
+(* Run [f] with [Some pool] when ALSRAC_BENCH_JOBS asks for one. *)
+let with_bench_pool f =
+  if bench_jobs > 1 then
+    Parallel.Pool.with_pool ~jobs:bench_jobs (fun p -> f (Some p))
+  else f None
+
+type sweep_result = {
+  s_area : float;
+  s_delay : float;
+  s_cpu : float;  (** mean CPU seconds per run *)
+  s_wall : float;  (** mean wall-clock seconds per run *)
+  s_capped : bool;  (** some run hit the scaled-mode budget *)
+}
+
+(* Average a method over thresholds x seeds on one circuit.  Every
+   (threshold, seed) point is an independent run; with [?pool] the points
+   execute concurrently (chunk size 1 — one run per task) and, because each
+   run is self-contained and deterministic given its seed, the averaged
+   results are identical to the serial bench.  [s_capped] marks sweeps in
+   which at least one run hit the budget (reported with a '*' — full mode
+   never truncates). *)
+let sweep ?pool ~runner ~ratios ~metric ~thresholds entry =
   let g = (entry : Circuits.Suite.entry).Circuits.Suite.build () in
   (* Both methods start from, and are measured against, the exactly
      optimized circuit (the paper pre-optimizes its benchmarks with SIS). *)
   let original = Aig.Resyn.compress2 (Graph.compact g) in
   let g = original in
-  let areas = ref [] and delays = ref [] and times = ref [] in
-  let capped = ref false in
-  List.iter
-    (fun threshold ->
-      List.iter
-        (fun seed ->
-          let approx, rt = runner ~metric ~threshold ~seed g in
-          if rt >= max_seconds -. 1.0 then capped := true;
-          let r = ratios ~original approx in
-          areas := r.area :: !areas;
-          delays := r.delay :: !delays;
-          times := rt :: !times)
-        seeds)
-    thresholds;
-  (mean !areas, mean !delays, mean !times, !capped)
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun threshold -> List.map (fun seed -> (threshold, seed)) seeds)
+         thresholds)
+  in
+  let runs =
+    Parallel.Chunk.map ?pool ~chunk_size:1 ~n:(Array.length points) (fun i ->
+        let threshold, seed = points.(i) in
+        let w0 = wall () in
+        let approx, cpu = runner ~metric ~threshold ~seed g in
+        let w = wall () -. w0 in
+        let r = ratios ~original approx in
+        (r.area, r.delay, cpu, w))
+  in
+  let runs = Array.to_list runs in
+  let col f = mean (List.map f runs) in
+  {
+    s_area = col (fun (a, _, _, _) -> a);
+    s_delay = col (fun (_, d, _, _) -> d);
+    s_cpu = col (fun (_, _, c, _) -> c);
+    s_wall = col (fun (_, _, _, w) -> w);
+    s_capped =
+      List.exists (fun (_, _, c, w) -> Float.max c w >= max_seconds -. 1.0) runs;
+  }
 
 (* ---------- Table III ---------- *)
 
@@ -150,32 +191,44 @@ let table3 () =
 let versus_table ~title ~paper_note ~entries ~metric ~thresholds ~ratios
     ~baseline_name ~baseline =
   Printf.printf "\n== %s ==\n(%s)\n" title paper_note;
-  Printf.printf "%-10s | %9s %9s | %9s %9s | %8s %8s\n" "circuit" "ALSRAC-a"
-    (baseline_name ^ "-a") "ALSRAC-d" (baseline_name ^ "-d") "t-ALS"
-    ("t-" ^ baseline_name);
+  Printf.printf "%-10s | %9s %9s | %9s %9s | %8s %8s | %8s %8s\n" "circuit"
+    "ALSRAC-a" (baseline_name ^ "-a") "ALSRAC-d" (baseline_name ^ "-d") "cpu-ALS"
+    "wall-ALS"
+    ("cpu-" ^ baseline_name)
+    ("wall-" ^ baseline_name);
   let acc = ref [] in
-  List.iter
-    (fun entry ->
-      let a_area, a_delay, a_time, a_capped =
-        sweep ~runner:run_alsrac ~ratios ~metric ~thresholds entry
-      in
-      let b_area, b_delay, b_time, b_capped =
-        sweep ~runner:baseline ~ratios ~metric ~thresholds entry
-      in
-      acc := (a_area, b_area, a_delay, b_delay, a_time, b_time) :: !acc;
-      Printf.printf "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %6.1fs%s %6.1fs%s\n%!"
-        entry.Circuits.Suite.name (pct a_area) (pct b_area) (pct a_delay) (pct b_delay)
-        a_time (if a_capped then "*" else " ")
-        b_time (if b_capped then "*" else " "))
-    entries;
+  with_bench_pool (fun pool ->
+      List.iter
+        (fun entry ->
+          let a = sweep ?pool ~runner:run_alsrac ~ratios ~metric ~thresholds entry in
+          let b = sweep ?pool ~runner:baseline ~ratios ~metric ~thresholds entry in
+          acc := (a, b) :: !acc;
+          Printf.printf
+            "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %6.1fs%s %6.1fs%s | \
+             %6.1fs%s %6.1fs%s\n\
+             %!"
+            entry.Circuits.Suite.name (pct a.s_area) (pct b.s_area)
+            (pct a.s_delay) (pct b.s_delay) a.s_cpu
+            (if a.s_capped then "*" else " ")
+            a.s_wall
+            (if a.s_capped then "*" else " ")
+            b.s_cpu
+            (if b.s_capped then "*" else " ")
+            b.s_wall
+            (if b.s_capped then "*" else " "))
+        entries);
   let col f = mean (List.map f !acc) in
-  Printf.printf "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %7.1fs %7.1fs\n" "arithmean"
-    (pct (col (fun (a, _, _, _, _, _) -> a)))
-    (pct (col (fun (_, b, _, _, _, _) -> b)))
-    (pct (col (fun (_, _, d, _, _, _) -> d)))
-    (pct (col (fun (_, _, _, e, _, _) -> e)))
-    (col (fun (_, _, _, _, t, _) -> t))
-    (col (fun (_, _, _, _, _, u) -> u));
+  Printf.printf
+    "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %7.1fs %7.1fs | %7.1fs %7.1fs\n"
+    "arithmean"
+    (pct (col (fun (a, _) -> a.s_area)))
+    (pct (col (fun (_, b) -> b.s_area)))
+    (pct (col (fun (a, _) -> a.s_delay)))
+    (pct (col (fun (_, b) -> b.s_delay)))
+    (col (fun (a, _) -> a.s_cpu))
+    (col (fun (a, _) -> a.s_wall))
+    (col (fun (_, b) -> b.s_cpu))
+    (col (fun (_, b) -> b.s_wall));
   Printf.printf "('*' = at least one run hit the %gs scaled-mode budget)\n"
     max_seconds
 
@@ -311,6 +364,91 @@ let micro () =
         analysis)
     tests
 
+(* ---------- Pool microbenchmark (DESIGN.md section 8) ----------
+
+   Wall-clock speedup of the worker pool on the two kernels the flow
+   parallelizes — word-sharded bit-parallel simulation and batch candidate
+   scoring — at jobs = 1/2/4/8 on the largest suite circuit.  Each cell is
+   the best of three runs; the jobs = 1 row is the exact sequential path
+   (the pool runs tasks eagerly on the caller), so speedups are against the
+   true serial baseline.  Results are recorded in EXPERIMENTS.md. *)
+
+let pool_bench () =
+  Printf.printf "\n== Pool microbenchmark: simulate + candidate scoring ==\n";
+  Printf.printf "(host reports %d core(s); jobs beyond that only measure overhead)\n%!"
+    (Parallel.Pool.cpu_count ());
+  let name, g =
+    List.fold_left
+      (fun best (e : Circuits.Suite.entry) ->
+        let g = e.Circuits.Suite.build () in
+        match best with
+        | Some (_, bg) when Graph.num_ands bg >= Graph.num_ands g -> best
+        | _ -> Some (e.Circuits.Suite.name, g))
+      None Circuits.Suite.all
+    |> Option.get
+  in
+  let rounds = 8192 in
+  Printf.printf "circuit: %s (%d ANDs), %d evaluation rounds\n%!" name
+    (Graph.num_ands g) rounds;
+  let rng = Logic.Rng.create 42 in
+  let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:rounds in
+  let sigs = Sim.Engine.simulate g pats in
+  let golden = Sim.Engine.po_values g sigs in
+  let batch = Errest.Batch.create g ~metric:Metrics.Er ~golden ~base:sigs in
+  let ands =
+    let acc = ref [] in
+    Graph.iter_ands g (fun id -> acc := id :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let nspecs = min 256 (Array.length ands) in
+  let stride = max 1 (Array.length ands / nspecs) in
+  (* Flipping a node's signature forces a full TFO re-simulation per
+     candidate — the worst (and most common) case in the flow. *)
+  let specs =
+    Array.init nspecs (fun i ->
+        let id = ands.(i * stride) in
+        (id, Logic.Bitvec.lognot sigs.(id)))
+  in
+  let ref_sigs = Sim.Engine.simulate g pats in
+  let ref_errs = Errest.Batch.candidate_errors batch specs in
+  let best_of_3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = wall () in
+      f ();
+      best := Float.min !best (wall () -. t0)
+    done;
+    !best
+  in
+  Printf.printf "%-34s %5s %10s %8s\n" "kernel" "jobs" "best wall" "speedup";
+  let report kernel ~check f =
+    let base = ref nan in
+    List.iter
+      (fun jobs ->
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            let t = best_of_3 (fun () -> f pool) in
+            if jobs = 1 then base := t;
+            let ok = check pool in
+            Printf.printf "%-34s %5d %9.4fs %7.2fx%s\n%!" kernel jobs t
+              (!base /. t)
+              (if ok then "" else "  DETERMINISM MISMATCH");
+            if jobs = 4 then
+              Printf.printf "%-34s %5s %s\n" "" ""
+                (Errest.Observability.pool_summary (Parallel.Pool.stats pool))))
+      [ 1; 2; 4; 8 ]
+  in
+  report
+    (Printf.sprintf "simulate (%d rounds)" rounds)
+    ~check:(fun pool ->
+      let s = Sim.Engine.simulate ~pool g pats in
+      Array.for_all2 Logic.Bitvec.equal s ref_sigs)
+    (fun pool -> ignore (Sim.Engine.simulate ~pool g pats));
+  report
+    (Printf.sprintf "candidate scoring (%d specs)" nspecs)
+    ~check:(fun pool ->
+      Errest.Batch.candidate_errors ~pool batch specs = ref_errs)
+    (fun pool -> ignore (Errest.Batch.candidate_errors ~pool batch specs))
+
 (* ---------- Ablation: ALSRAC design choices (DESIGN.md section 5) ---------- *)
 
 let ablations () =
@@ -347,6 +485,7 @@ let ablations () =
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Sys.time () in
+  let w0 = wall () in
   (match mode with
   | "table3" -> table3 ()
   | "table4" -> table4 ()
@@ -354,6 +493,7 @@ let () =
   | "table6" -> table6 ()
   | "table7" -> table7 ()
   | "micro" -> micro ()
+  | "pool" -> pool_bench ()
   | "ablations" -> ablations ()
   | "all" ->
       table3 ();
@@ -362,11 +502,15 @@ let () =
       table6 ();
       table7 ();
       ablations ();
-      micro ()
+      micro ();
+      pool_bench ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (table3|table4|table5|table6|table7|ablations|micro|all)\n" m;
+        "unknown mode %s \
+         (table3|table4|table5|table6|table7|ablations|micro|pool|all)\n"
+        m;
       exit 1);
-  Printf.printf "\ntotal bench time: %.1fs%s\n" (Sys.time () -. t0)
+  Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)
+    (wall () -. w0)
     (if full_mode then " (full mode)"
      else " (scaled mode; ALSRAC_BENCH_FULL=1 for full sweeps)")

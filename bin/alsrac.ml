@@ -105,7 +105,7 @@ let eval_cmd original approx metric sample =
 (* ---------- approx ---------- *)
 
 let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
-    resume guard =
+    resume guard jobs =
   let* metric = parse_metric metric in
   let* g = load spec in
   let original = Aig.Graph.compact g in
@@ -115,12 +115,20 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
       Error (`Msg "--journal/--resume are only supported with --method alsrac")
     else Ok ()
   in
+  let* () =
+    if jobs <> None && method_ <> "alsrac" then
+      Error (`Msg "--jobs is only supported with --method alsrac")
+    else Ok ()
+  in
   let* approx =
     match method_ with
     | "alsrac" ->
         let config =
           { (Core.Config.default ~metric ~threshold) with
-            Core.Config.seed; eval_rounds; guard }
+            Core.Config.seed;
+            eval_rounds;
+            guard;
+            jobs = Option.value jobs ~default:1 }
         in
         let* a, r =
           failure_to_msg @@ fun () ->
@@ -128,8 +136,11 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             (match resume with
             | Some dir ->
                 (* The journal manifest supersedes the command line: metric,
-                   threshold, seed and the rest come from the original run. *)
-                Core.Flow.resume dir
+                   threshold, seed and the rest come from the original run.
+                   [--jobs] is the exception — the pool size is execution
+                   policy and results are jobs-invariant, so a resume may
+                   use any pool size. *)
+                Core.Flow.resume ?jobs dir
             | None -> Core.Flow.run ?journal ~config g)
         in
         Printf.printf "alsrac: %d LACs applied%s, sampled %s = %.5f%%\n"
@@ -151,6 +162,12 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             "resilience: %d guard rollbacks, %d quarantined targets, %d recovered exceptions\n"
             r.Core.Flow.guard_rejects r.Core.Flow.quarantined
             r.Core.Flow.recovered_exns;
+        if Array.length r.Core.Flow.pool > 1 then begin
+          Printf.printf "parallel: %s (wall %.1fs, cpu %.1fs)\n"
+            (Errest.Observability.pool_summary r.Core.Flow.pool)
+            r.Core.Flow.wall_s r.Core.Flow.runtime_s;
+          Format.printf "%a@." Errest.Observability.pp_pool_stats r.Core.Flow.pool
+        end;
         Ok a
     | "sasimi" | "su" ->
         let config =
@@ -296,10 +313,10 @@ let approx_term =
   Term.(
     const
       (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
-           guard ->
+           guard jobs ->
         exits_of_result
           (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
-             journal resume guard))
+             journal resume guard jobs))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -320,7 +337,13 @@ let approx_term =
     $ Arg.(value & opt bool true & info [ "guard" ] ~docv:"BOOL"
              ~doc:"Guarded transforms: verify structural invariants and \
                    signature consistency after every accepted change, rolling \
-                   back and quarantining on violation (default on)."))
+                   back and quarantining on violation (default on).")
+    $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker-pool size for simulation and candidate scoring: 1 \
+                   (default) is fully sequential, 0 detects the core count, \
+                   N > 1 spawns N-1 worker domains.  Results are bit-identical \
+                   at every setting, so $(docv) may also differ between a \
+                   journaled run and its $(b,--resume)."))
 
 let approx_cmd' =
   Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")

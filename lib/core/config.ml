@@ -22,6 +22,7 @@ type t = {
   guard_tol : float;
   confidence : float;
   fault : Fault.plan;
+  jobs : int;
 }
 
 let default ~metric ~threshold =
@@ -47,10 +48,12 @@ let default ~metric ~threshold =
     guard_tol = 1e-9;
     confidence = 0.999;
     fault = Fault.none;
+    jobs = 1;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d"
+    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d jobs=%d"
     (Errest.Metrics.kind_to_string t.metric)
     t.threshold t.sim_rounds t.lac_limit t.patience t.scale t.eval_rounds t.seed
+    t.jobs

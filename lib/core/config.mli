@@ -45,6 +45,12 @@ type t = {
   fault : Fault.plan;
       (** deterministic fault injection for resilience tests; {!Fault.none}
           (the default) disables every hook *)
+  jobs : int;
+      (** worker-pool size for simulation and candidate scoring: [1]
+          (default) runs fully sequentially, [0] detects the core count,
+          [n > 1] spawns [n - 1] worker domains.  Results are bit-identical
+          at every setting ({!Parallel.Chunk}'s determinism contract), so
+          [jobs] may differ between a journaled run and its resume. *)
 }
 
 val default : metric:Errest.Metrics.kind -> threshold:float -> t

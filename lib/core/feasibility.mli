@@ -14,3 +14,18 @@ val check :
   rounds:int ->
   bool
 (** Convenience: scan then test. *)
+
+val filter :
+  ?pool:Parallel.Pool.t ->
+  ?mask:Logic.Bitvec.t ->
+  sigs:Logic.Bitvec.t array ->
+  node:int ->
+  sets:int array array ->
+  rounds:int ->
+  unit ->
+  (int array * Care.t) list
+(** Care-scan every divisor set of one target node and keep the feasible
+    ones together with their scans, preserving the input order.  With
+    [?pool] the (independent, read-only) scans run concurrently; the result
+    is identical at any pool size.  [?mask] is the node's ODC mask, as in
+    {!Care.scan}. *)

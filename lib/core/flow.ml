@@ -19,11 +19,13 @@ type report = {
   certified_upper : float option;
   final_rounds : int;
   runtime_s : float;
+  wall_s : float;
   stop_reason : stop_reason;
   guard_rejects : int;
   recovered_exns : int;
   quarantined : int;
   resumed : bool;
+  pool : Parallel.Pool.stat array;
   events : event list;
 }
 
@@ -69,13 +71,14 @@ let fatal = function
 
 let max_recovered_exns = 50
 
-let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state option)
-    g_start =
+let run_loop ~(config : Config.t) ~pool ~journal ~original
+    ~(init : Journal.state option) g_start =
   let t_start = Sys.time () in
+  let w_start = Parallel.Clock.now_s () in
   let npis = Graph.num_pis original in
   let rng0 = Logic.Rng.create config.seed in
   let eval_pats = eval_patterns (Logic.Rng.split rng0) config npis in
-  let golden = Sim.Engine.simulate_pos original eval_pats in
+  let golden = Sim.Engine.simulate_pos ~pool original eval_pats in
   (* On resume the journal's RNG state supersedes the fresh stream: pattern
      generation continues exactly where the interrupted run left off. *)
   let rng =
@@ -122,7 +125,7 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
   in
   let measure_error g' =
     Errest.Metrics.measure config.metric ~golden
-      ~approx:(Sim.Engine.simulate_pos g' eval_pats)
+      ~approx:(Sim.Engine.simulate_pos ~pool g' eval_pats)
   in
   (* The guard: a candidate graph is kept only if it passes the structural
      invariants AND a signature-consistency probe — every transform between
@@ -176,20 +179,20 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
   in
   let iteration_body () =
     let care_pats = gen_patterns rng config ~npis ~len:!rounds in
-    let care_sigs = Sim.Engine.simulate !g care_pats in
+    let care_sigs = Sim.Engine.simulate ~pool !g care_pats in
     if Fault.should_raise config.fault ~iteration:!iteration then
       raise (Fault.Injected (Printf.sprintf "injected exception at iteration %d" !iteration));
     let obs =
       if config.use_odc then Some (Errest.Observability.masks !g ~sigs:care_sigs)
       else None
     in
-    let lacs = Lac.generate ?obs !g ~config ~sigs:care_sigs ~rounds:!rounds in
+    let lacs = Lac.generate ?obs ~pool !g ~config ~sigs:care_sigs ~rounds:!rounds in
     if lacs = [] then
       (* Algorithm 3 line 10: only after [t] consecutive empty iterations is
          the care set shrunk; fresh patterns alone may unblock us. *)
       shrink_rounds ()
     else begin
-      let base_sigs = Sim.Engine.simulate !g eval_pats in
+      let base_sigs = Sim.Engine.simulate ~pool !g eval_pats in
       (match Fault.flip_signatures config.fault ~iteration:!iteration with
       | Some bit ->
           (* Soft-error model: skew every node's evaluation signature, so the
@@ -211,14 +214,21 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
           lacs
       in
       let batch = Errest.Batch.create !g ~metric:config.metric ~golden ~base:base_sigs in
-      let scored =
-        List.map
+      (* Candidate scoring is the hottest loop of a flow iteration: fan it
+         across the pool.  [candidate_errors] is bit-identical to the
+         sequential scoring at any pool size, so the ranking below — and
+         with it the whole run — is too. *)
+      let lac_arr = Array.of_list lacs in
+      let specs =
+        Array.map
           (fun (lac : Lac.t) ->
             let pos_sigs = Array.map (fun d -> base_sigs.(d)) lac.Lac.divisors in
-            let new_sig = Logic.Cover.eval_sigs lac.Lac.cover ~pos_sigs in
-            let err = Errest.Batch.candidate_error batch ~node:lac.Lac.target ~new_sig in
-            (err, lac))
-          lacs
+            (lac.Lac.target, Logic.Cover.eval_sigs lac.Lac.cover ~pos_sigs))
+          lac_arr
+      in
+      let errs = Errest.Batch.candidate_errors ~pool batch specs in
+      let scored =
+        Array.to_list (Array.mapi (fun i lac -> (errs.(i), lac)) lac_arr)
       in
       (* Best LAC = smallest induced error, ties broken by estimated gain
          (Algorithm 3 line 6).  The estimate can still be optimistic when
@@ -317,9 +327,12 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
           shrink_rounds ()
     end
   in
+  (* The [max_seconds] budget is wall-clock: with a worker pool, CPU time
+     accumulates across domains roughly [jobs] times faster than the wall,
+     which is not what a time budget means. *)
   while
     (not !finished) && !applied < config.max_iters
-    && Sys.time () -. t_start < config.max_seconds
+    && Parallel.Clock.now_s () -. w_start < config.max_seconds
   do
     if Fault.should_kill config.fault ~applied:!applied then raise Fault.Killed;
     incr iteration;
@@ -338,7 +351,8 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
       end
   done;
   if (not !finished) && !applied >= config.max_iters then stop_reason := Max_iters;
-  if Sys.time () -. t_start >= config.max_seconds then stop_reason := Timed_out;
+  if Parallel.Clock.now_s () -. w_start >= config.max_seconds then
+    stop_reason := Timed_out;
   (match config.resyn with
   | Config.Compress2 ->
       let final = Aig.Resyn.compress2 !g in
@@ -358,7 +372,7 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
             Log.warn (fun m -> m "final resyn pass rejected by guard (%s); rolled back" violation)
       end
   | Config.No_resyn | Config.Light -> ());
-  let final_approx = Sim.Engine.simulate_pos !g eval_pats in
+  let final_approx = Sim.Engine.simulate_pos ~pool !g eval_pats in
   let final_err = Errest.Metrics.measure config.metric ~golden ~approx:final_approx in
   let eval_len =
     if Array.length eval_pats > 0 then Bitvec.length eval_pats.(0) else config.eval_rounds
@@ -383,25 +397,35 @@ let run_loop ~(config : Config.t) ~journal ~original ~(init : Journal.state opti
       certified_upper;
       final_rounds = !rounds;
       runtime_s = Sys.time () -. t_start;
+      wall_s = Parallel.Clock.now_s () -. w_start;
       stop_reason = !stop_reason;
       guard_rejects = !guard_rejects;
       recovered_exns = !recovered_exns;
       quarantined = Hashtbl.length quarantine;
       resumed = init <> None;
+      pool = Parallel.Pool.stats pool;
       events = List.rev !events;
     } )
 
 let run ?journal ~(config : Config.t) g0 =
   let original = Graph.compact g0 in
   let j = Option.map (fun dir -> Journal.create ~dir ~config ~original) journal in
-  run_loop ~config ~journal:j ~original ~init:None original
+  Parallel.Pool.with_pool ~jobs:config.jobs (fun pool ->
+      run_loop ~config ~pool ~journal:j ~original ~init:None original)
 
-let resume ?(fault = Fault.none) dir =
+let resume ?(fault = Fault.none) ?jobs dir =
   let r = Journal.load dir in
   (match r.Journal.degraded with
   | Some msg -> Log.warn (fun m -> m "resume: %s" msg)
   | None -> ());
   let config = { r.Journal.config with Config.fault } in
+  (* The worker-pool size is execution policy, not run identity: results are
+     bit-identical at any [jobs], so a resume may use a different pool size
+     than the interrupted run. *)
+  let config =
+    match jobs with Some j -> { config with Config.jobs = j } | None -> config
+  in
   let j = Journal.reopen dir in
-  run_loop ~config ~journal:(Some j) ~original:r.Journal.original
-    ~init:r.Journal.state r.Journal.graph
+  Parallel.Pool.with_pool ~jobs:config.Config.jobs (fun pool ->
+      run_loop ~config ~pool ~journal:(Some j) ~original:r.Journal.original
+        ~init:r.Journal.state r.Journal.graph)

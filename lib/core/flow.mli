@@ -56,12 +56,17 @@ type report = {
           [Config.confidence] ({!Errest.Certify}); [None] for metrics whose
           per-round samples are not [0,1]-bounded (MRED) *)
   final_rounds : int;  (** value of [N] at exit *)
-  runtime_s : float;  (** CPU seconds *)
+  runtime_s : float;  (** CPU seconds, summed over all domains *)
+  wall_s : float;  (** wall-clock seconds (with a pool the two diverge) *)
   stop_reason : stop_reason;
   guard_rejects : int;  (** transforms rolled back by the guard *)
   recovered_exns : int;  (** iterations abandoned after an exception *)
   quarantined : int;  (** targets barred for the rest of the run *)
   resumed : bool;  (** this report continues a journaled run *)
+  pool : Parallel.Pool.stat array;
+      (** per-worker execution counters of the run's pool (tasks, steals,
+          busy/idle time); render with
+          {!Errest.Observability.pp_pool_stats} *)
   events : event list;  (** in application order, including pre-resume *)
 }
 
@@ -69,13 +74,18 @@ val run : ?journal:string -> config:Config.t -> Aig.Graph.t -> Aig.Graph.t * rep
 (** Returns the approximate circuit (same PI/PO interface) and the run
     report.  The input graph is not modified.  [?journal] names a run
     directory to checkpoint into ({!Journal.create} — a fresh run, wiping
-    any previous checkpoints there). *)
+    any previous checkpoints there).  A worker pool of [config.jobs] lanes
+    runs simulation, LAC generation and candidate scoring; every result is
+    bit-identical to [jobs = 1]. *)
 
-val resume : ?fault:Fault.plan -> string -> Aig.Graph.t * report
+val resume : ?fault:Fault.plan -> ?jobs:int -> string -> Aig.Graph.t * report
 (** Resume an interrupted journaled run from its directory: the config is
     read back from the manifest, the loop state and graph from the newest
     readable checkpoint (falling back per {!Journal.load}), and the run
     continues — journaling into the same directory — to the same final
     circuit as an uninterrupted run.  [?fault] installs a fault plan for the
-    resumed portion (testing only; plans are never persisted).  Raises
-    [Failure] if the directory is not a usable journal. *)
+    resumed portion (testing only; plans are never persisted).  [?jobs]
+    overrides the manifest's pool size — the pool is execution policy, not
+    run identity, so resuming at a different [jobs] still reproduces the
+    uninterrupted run bit-for-bit.  Raises [Failure] if the directory is not
+    a usable journal. *)

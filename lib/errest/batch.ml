@@ -103,3 +103,38 @@ let candidate_error t ~node ~new_sig =
     let approx = candidate_pos t ~node ~new_sig in
     Metrics.measure_prepared t.prepared ~approx
   end
+
+(* A scratch-only clone for one pool task: shares every read-only part
+   (graph, golden, base signatures, prepared metric, the warmed TFO cache)
+   and owns fresh candidate buffers/stamps.  [base_err] must already be
+   forced on [t] so clones never race to compute it. *)
+let clone_scratch t =
+  {
+    t with
+    bufs = Array.make (Graph.num_nodes t.g) None;
+    stamps = Array.make (Graph.num_nodes t.g) 0;
+    gen = 0;
+  }
+
+let candidate_errors ?pool t specs =
+  let n = Array.length specs in
+  let parallel =
+    match pool with Some p -> Parallel.Pool.size p > 1 && n > 1 | None -> false
+  in
+  if not parallel then
+    Array.map (fun (node, new_sig) -> candidate_error t ~node ~new_sig) specs
+  else begin
+    (* Warm the shared state sequentially: after this, tasks only READ the
+       TFO cache and [base_err], so sharing them across domains is safe. *)
+    ignore (base_error t : float);
+    Array.iter (fun (node, _) -> ignore (tfo t node : bool array)) specs;
+    let out = Array.make n 0.0 in
+    let chunk_size = max 1 ((n + 15) / 16) in
+    Parallel.Chunk.iter ?pool ~chunk_size ~n (fun lo hi ->
+        let local = clone_scratch t in
+        for i = lo to hi - 1 do
+          let node, new_sig = specs.(i) in
+          out.(i) <- candidate_error local ~node ~new_sig
+        done);
+    out
+  end

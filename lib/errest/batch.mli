@@ -33,3 +33,13 @@ val candidate_error : t -> node:int -> new_sig:Logic.Bitvec.t -> float
 val candidate_pos : t -> node:int -> new_sig:Logic.Bitvec.t -> Logic.Bitvec.t array
 (** PO signatures under the override (for callers needing more than the
     scalar error). *)
+
+val candidate_errors :
+  ?pool:Parallel.Pool.t -> t -> (int * Logic.Bitvec.t) array -> float array
+(** [candidate_errors t specs] is [candidate_error] over an array of
+    [(node, new_sig)] pairs, result [i] for candidate [i].  With [?pool],
+    candidates are scored concurrently — each chunk works on a private
+    scratch clone while sharing the base signatures and (pre-warmed) TFO
+    cache read-only — and every per-candidate computation is unchanged, so
+    the results are bit-identical to the sequential path at any pool
+    size. *)

@@ -1,0 +1,39 @@
+(** Deterministic chunked iteration / map / reduce.
+
+    The determinism contract: chunk boundaries depend only on [n] and
+    [?chunk_size] (default: at most {!default_max_chunks} equal chunks) —
+    never on the pool size or scheduling — and {!map_reduce} folds chunk
+    results in increasing chunk order.  Any computation whose per-chunk work
+    is a pure function of its index range is therefore bit-identical at
+    every [jobs] setting; this is what makes parallel simulation and
+    candidate scoring safe to interleave with journaled checkpoint/resume.
+
+    Without [?pool] (or with a 1-lane pool) the same chunks run sequentially
+    in index order on the caller. *)
+
+val default_max_chunks : int
+(** Default chunk-count ceiling (64): [chunk_size = ceil (n / 64)]. *)
+
+val ranges : ?chunk_size:int -> int -> (int * int) array
+(** [ranges n] are the half-open [(lo, hi)] chunk bounds covering [0..n-1],
+    in order.  Exposed for callers that need the boundaries themselves. *)
+
+val iter : ?pool:Pool.t -> ?chunk_size:int -> n:int -> (int -> int -> unit) -> unit
+(** [iter ~n f] runs [f lo hi] for every chunk.  Chunks must write disjoint
+    state (e.g. disjoint array slices). *)
+
+val map : ?pool:Pool.t -> ?chunk_size:int -> n:int -> (int -> 'a) -> 'a array
+(** Per-index map; result slot [i] is [f i]. *)
+
+val map_reduce :
+  ?pool:Pool.t ->
+  ?chunk_size:int ->
+  n:int ->
+  map:(int -> int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  unit ->
+  'a
+(** [map_reduce ~n ~map ~merge ~init ()] computes [map lo hi] per chunk and
+    folds the results with [merge] in chunk order (ordered reduction:
+    float-sum results are reproducible). *)

@@ -1,0 +1,12 @@
+(** Wall-clock time for the pool's busy/idle accounting and for benchmark
+    timing.  CPU time ([Sys.time]) is the wrong axis once work spreads over
+    domains: a 4-worker pool burns ~4 CPU-seconds per wall second, so
+    speedups are invisible in CPU time. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch. *)
+
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds since the epoch (gettimeofday precision). *)
+
+val ns_to_s : int64 -> float

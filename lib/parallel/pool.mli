@@ -1,0 +1,67 @@
+(** Domain-based worker pool with per-worker deques and work stealing.
+
+    A pool of [jobs] lanes: lane 0 is the submitting (caller) domain, lanes
+    1..jobs-1 are spawned worker domains.  Each lane owns a deque — the
+    owner pushes/pops at the bottom, idle lanes steal from the top of other
+    lanes' deques.  [jobs = 1] spawns no domains and runs every task eagerly
+    on the caller, which is exactly the sequential semantics the
+    deterministic call sites fall back to.
+
+    The pool itself makes no ordering promises; determinism is provided one
+    level up by {!Chunk} (fixed chunk boundaries, ordered reduction).
+
+    {b Await helps}: a lane blocked in {!await} executes pending pool tasks
+    itself, so tasks may freely submit and await sub-tasks on the same pool
+    without deadlock.
+
+    {b Exceptions} raised by a task are captured and re-raised (with the
+    original backtrace) by {!await}; a failed task never kills a worker and
+    the pool remains usable afterwards. *)
+
+type t
+
+type 'a future
+
+type stat = {
+  worker : int;  (** lane index; 0 is the caller *)
+  tasks : int;  (** tasks this lane executed *)
+  steals : int;  (** tasks it took from another lane's deque *)
+  busy_ns : int64;  (** wall time spent executing tasks *)
+  idle_ns : int64;  (** wall time spent parked waiting for work *)
+}
+
+val cpu_count : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs] is clamped to
+    [1..64]); [jobs = 0] means {!cpu_count}. *)
+
+val size : t -> int
+(** Total lanes, caller included. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Await all outstanding futures first;
+    tasks still queued at shutdown are dropped.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception-safe. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit a task to the calling lane's deque (lane 0 when the caller is not
+    a pool member). *)
+
+val await : t -> 'a future -> 'a
+(** Wait for the result, executing other pool tasks while pending.
+    Re-raises the task's exception if it failed. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [await t (async t f)]. *)
+
+val stats : t -> stat array
+(** Per-lane counters since creation (or the last {!reset_stats}). *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stat array -> unit
+(** One line per worker: tasks, steals, busy/idle seconds. *)
