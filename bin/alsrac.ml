@@ -105,7 +105,7 @@ let eval_cmd original approx metric sample =
 (* ---------- approx ---------- *)
 
 let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
-    resume guard jobs =
+    resume guard certify jobs =
   let* metric = parse_metric metric in
   let* g = load spec in
   let original = Aig.Graph.compact g in
@@ -120,6 +120,11 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
       Error (`Msg "--jobs is only supported with --method alsrac")
     else Ok ()
   in
+  let* () =
+    if certify && method_ <> "alsrac" then
+      Error (`Msg "--certify-exact is only supported with --method alsrac")
+    else Ok ()
+  in
   let* approx =
     match method_ with
     | "alsrac" ->
@@ -128,6 +133,7 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             Core.Config.seed;
             eval_rounds;
             guard;
+            certify_exact = certify;
             jobs = Option.value jobs ~default:1 }
         in
         let* a, r =
@@ -152,6 +158,16 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
         | Some u ->
             Printf.printf "certified %s <= %.5f%% (Hoeffding)\n"
               (Errest.Metrics.kind_to_string metric) (100.0 *. u)
+        | None -> ());
+        (match r.Core.Flow.certify with
+        | Some c ->
+            Printf.printf
+              "certify: %d/%d exact transforms proven equivalent (%d undecided, %d \
+               refuted); %d LAC rechecks, %d outside tolerance (max deviation %.3g)\n"
+              c.Core.Flow.exact_confirmed c.Core.Flow.exact_checks
+              c.Core.Flow.exact_undecided c.Core.Flow.exact_refuted
+              c.Core.Flow.lac_rechecks c.Core.Flow.lac_recheck_failures
+              c.Core.Flow.lac_max_deviation
         | None -> ());
         if
           r.Core.Flow.guard_rejects > 0
@@ -219,6 +235,41 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
         *. float_of_int (Techmap.Mapped.depth m1)
         /. float_of_int (max 1 (Techmap.Mapped.depth m0))));
   match output with Some path -> save path approx | None -> Ok ()
+
+(* ---------- cec ---------- *)
+
+let cec_cmd a_spec b_spec seed rounds effort =
+  let* a = load a_spec in
+  let* b = load b_spec in
+  let* () =
+    if Aig.Graph.num_pis a <> Aig.Graph.num_pis b then
+      Error
+        (`Msg
+           (Printf.sprintf "PI count mismatch: %s has %d, %s has %d" a_spec
+              (Aig.Graph.num_pis a) b_spec (Aig.Graph.num_pis b)))
+    else if Aig.Graph.num_pos a <> Aig.Graph.num_pos b then
+      Error
+        (`Msg
+           (Printf.sprintf "PO count mismatch: %s has %d, %s has %d" a_spec
+              (Aig.Graph.num_pos a) b_spec (Aig.Graph.num_pos b)))
+    else Ok ()
+  in
+  match Verify.Cec.run ~seed ~rounds ~effort a b with
+  | Verify.Cec.Equivalent ->
+      Printf.printf "equivalent\n";
+      Ok ()
+  | Verify.Cec.Inequivalent cex ->
+      Printf.printf "inequivalent: output %d (%s) is %b in %s, %b in %s\n"
+        cex.Verify.Cec.po
+        (Aig.Graph.po_name a cex.Verify.Cec.po)
+        cex.Verify.Cec.value_a a_spec cex.Verify.Cec.value_b b_spec;
+      Printf.printf "counterexample (PI order):\n";
+      Array.iteri
+        (fun i v ->
+          Printf.printf "  %s = %d\n" (Aig.Graph.pi_name a i) (if v then 1 else 0))
+        cex.Verify.Cec.inputs;
+      Error (`Msg "circuits are not equivalent")
+  | Verify.Cec.Undecided msg -> Error (`Msg ("undecided: " ^ msg))
 
 (* ---------- map ---------- *)
 
@@ -313,10 +364,10 @@ let approx_term =
   Term.(
     const
       (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
-           guard jobs ->
+           guard certify jobs ->
         exits_of_result
           (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
-             journal resume guard jobs))
+             journal resume guard certify jobs))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -338,6 +389,12 @@ let approx_term =
              ~doc:"Guarded transforms: verify structural invariants and \
                    signature consistency after every accepted change, rolling \
                    back and quarantining on violation (default on).")
+    $ Arg.(value & flag & info [ "certify-exact" ]
+             ~doc:"Machine-check the run's trust assumptions: miter-check every \
+                   exact transform application with the verification subsystem \
+                   and re-simulate every accepted change's error on independent \
+                   patterns, reporting the verdicts.  Observational: never \
+                   changes the result circuit.")
     $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
              ~doc:"Worker-pool size for simulation and candidate scoring: 1 \
                    (default) is fully sequential, 0 detects the core count, \
@@ -348,6 +405,31 @@ let approx_term =
 let approx_cmd' =
   Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")
     approx_term
+
+let cec_term =
+  Term.(
+    const (fun a b seed rounds effort -> exits_of_result (cec_cmd a b seed rounds effort))
+    $ Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT_A"
+             ~doc:"Benchmark name or circuit file.")
+    $ Arg.(required & pos 1 (some string) None & info [] ~docv:"CIRCUIT_B"
+             ~doc:"Benchmark name or circuit file with the same PI/PO interface.")
+    $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+             ~doc:"PRNG seed for the refutation patterns (the verdict is \
+                   deterministic in the seed).")
+    $ Arg.(value & opt int 1024 & info [ "rounds" ] ~docv:"N"
+             ~doc:"Random refutation rounds before the proof portfolio runs.")
+    $ Arg.(value
+           & opt (enum [ ("fast", Verify.Cec.Fast); ("thorough", Verify.Cec.Thorough) ])
+               Verify.Cec.Thorough
+           & info [ "effort" ] ~docv:"LEVEL"
+               ~doc:"Proof effort: fast (bounded, as used in-flow) or thorough."))
+
+let cec_cmd' =
+  Cmd.v
+    (Cmd.info "cec"
+       ~doc:"Combinational equivalence check (miter-based, simulation-only; exit \
+             status 0 only on a proven-equivalent verdict)")
+    cec_term
 
 let map_term =
   Term.(
@@ -368,4 +450,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ list_cmd'; gen_cmd'; stats_cmd'; opt_cmd'; eval_cmd'; approx_cmd'; map_cmd' ]))
+          [ list_cmd'; gen_cmd'; stats_cmd'; opt_cmd'; eval_cmd'; approx_cmd'; map_cmd';
+            cec_cmd' ]))

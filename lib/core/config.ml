@@ -21,6 +21,7 @@ type t = {
   guard : bool;
   guard_tol : float;
   confidence : float;
+  certify_exact : bool;
   fault : Fault.plan;
   jobs : int;
 }
@@ -47,6 +48,7 @@ let default ~metric ~threshold =
     guard = true;
     guard_tol = 1e-9;
     confidence = 0.999;
+    certify_exact = false;
     fault = Fault.none;
     jobs = 1;
   }

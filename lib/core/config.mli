@@ -42,6 +42,14 @@ type t = {
   confidence : float;
       (** confidence for the Hoeffding-certified upper bound on the final
           sampled error (reported for [Er]; see {!Errest.Certify}) *)
+  certify_exact : bool;
+      (** machine-checked verification of the run's trust assumptions
+          (default off): every exact-transform application (inter-iteration
+          resyn, the final hand-off) is miter-checked with [Verify.Cec], and
+          every accepted LAC's predicted error is cross-checked against an
+          independent re-simulation.  Verdicts are recorded in the flow
+          report; the checks are observational and never change the result
+          circuit. *)
   fault : Fault.plan;
       (** deterministic fault injection for resilience tests; {!Fault.none}
           (the default) disables every hook *)

@@ -11,6 +11,16 @@ type event = Journal.event = {
 
 type stop_reason = Budget_exhausted | Stalled | Max_iters | Emptied | Timed_out
 
+type certify = {
+  exact_checks : int;
+  exact_confirmed : int;
+  exact_undecided : int;
+  exact_refuted : int;
+  lac_rechecks : int;
+  lac_recheck_failures : int;
+  lac_max_deviation : float;
+}
+
 type report = {
   input_ands : int;
   output_ands : int;
@@ -27,6 +37,7 @@ type report = {
   resumed : bool;
   pool : Parallel.Pool.stat array;
   events : event list;
+  certify : certify option;
 }
 
 let log_src = Logs.Src.create "alsrac.flow" ~doc:"ALSRAC flow progress"
@@ -84,7 +95,7 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
   let rng =
     match init with None -> rng0 | Some s -> Logic.Rng.of_state s.Journal.rng_state
   in
-  let g = ref (match init with None -> optimize config g_start | Some _ -> g_start) in
+  let g = ref g_start in
   let depth_limit =
     if config.max_depth_growth = infinity then max_int
     else
@@ -104,6 +115,44 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
   let accepts_since_full = ref (field (fun s -> s.Journal.accepts_since_full) 0) in
   let quarantine : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   field (fun s -> List.iter (fun h -> Hashtbl.replace quarantine h ()) s.Journal.quarantined) ();
+  (* Certification counters are per-process observations (like fault plans,
+     they are not journaled): a resumed run's verdicts cover the resumed
+     portion only. *)
+  let cert_exact_checks = ref 0
+  and cert_exact_confirmed = ref 0
+  and cert_exact_undecided = ref 0
+  and cert_exact_refuted = ref 0
+  and cert_lac_rechecks = ref 0
+  and cert_lac_failures = ref 0
+  and cert_lac_maxdev = ref 0.0 in
+  (* Miter-check one exact-transform application.  Bounded effort: verdicts
+     the portfolio cannot decide are counted, not guessed.  The check is
+     sequential and draws no randomness from the run's stream, so it cannot
+     perturb the flow's results at any [jobs] setting. *)
+  let certify_exact_step what before after =
+    if config.certify_exact then begin
+      incr cert_exact_checks;
+      match
+        Verify.Cec.run ~seed:(config.seed + 0x5EED) ~rounds:512
+          ~effort:Verify.Cec.Fast before after
+      with
+      | Verify.Cec.Equivalent -> incr cert_exact_confirmed
+      | Verify.Cec.Undecided msg ->
+          incr cert_exact_undecided;
+          Log.debug (fun m -> m "certify: %s left undecided (%s)" what msg)
+      | Verify.Cec.Inequivalent cex ->
+          incr cert_exact_refuted;
+          Log.err (fun m ->
+              m "certify: exact transform %s is NOT function-preserving (PO %d)" what
+                cex.Verify.Cec.po)
+    end
+  in
+  (match init with
+  | None ->
+      let optimized = optimize config g_start in
+      certify_exact_step "initial resyn" g_start optimized;
+      g := optimized
+  | Some _ -> ());
   let finished = ref false in
   let stop_reason = ref Max_iters in
   let snapshot () =
@@ -151,16 +200,20 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
      the end; the cheap sweep+balance runs in between.  This keeps the large
      arithmetic circuits tractable without giving up the final quality. *)
   let optimize_step replaced =
-    match config.resyn with
-    | Config.No_resyn -> Graph.compact replaced
-    | Config.Light -> Aig.Resyn.light replaced
-    | Config.Compress2 ->
-        incr accepts_since_full;
-        if !accepts_since_full >= 10 then begin
-          accepts_since_full := 0;
-          Aig.Resyn.compress2 replaced
-        end
-        else Aig.Resyn.light replaced
+    let optimized =
+      match config.resyn with
+      | Config.No_resyn -> Graph.compact replaced
+      | Config.Light -> Aig.Resyn.light replaced
+      | Config.Compress2 ->
+          incr accepts_since_full;
+          if !accepts_since_full >= 10 then begin
+            accepts_since_full := 0;
+            Aig.Resyn.compress2 replaced
+          end
+          else Aig.Resyn.light replaced
+    in
+    certify_exact_step "inter-iteration resyn" replaced optimized;
+    optimized
   in
   let shrink_rounds () =
     incr patience;
@@ -294,6 +347,53 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
                     g := optimized;
                     incr applied;
                     last_error := err;
+                    (* Independent cross-check of the accepted LAC: its
+                       predicted error must re-measure consistently on a
+                       pattern set the flow never saw.  The recheck RNG is
+                       derived from (seed, iteration), never from the run's
+                       stream, so journaled resumes are unaffected. *)
+                    if config.certify_exact && npis > 0 then begin
+                      incr cert_lac_rechecks;
+                      let recheck_rng =
+                        Logic.Rng.create ((config.seed * 1_000_003) + !iteration)
+                      in
+                      let pats =
+                        gen_patterns recheck_rng config ~npis
+                          ~len:(max 64 config.eval_rounds)
+                      in
+                      let e2 =
+                        Errest.Metrics.compare_graphs config.metric ~original
+                          ~approx:optimized pats
+                      in
+                      let dev = Float.abs (e2 -. err) in
+                      if dev > !cert_lac_maxdev then cert_lac_maxdev := dev;
+                      match config.metric with
+                      | Errest.Metrics.Er | Errest.Metrics.Nmed ->
+                          (* Both estimates concentrate around the true
+                             error; their gap is bounded by the sum of the
+                             two one-sided Hoeffding margins. *)
+                          let n1 =
+                            if Array.length eval_pats > 0 then
+                              Bitvec.length eval_pats.(0)
+                            else max 64 config.eval_rounds
+                          in
+                          let tol =
+                            Errest.Certify.hoeffding_margin ~samples:n1
+                              ~confidence:0.9999
+                            +. Errest.Certify.hoeffding_margin
+                                 ~samples:(max 64 config.eval_rounds)
+                                 ~confidence:0.9999
+                          in
+                          if dev > tol then begin
+                            incr cert_lac_failures;
+                            Log.err (fun m ->
+                                m
+                                  "certify: LAC on node %d re-simulates at %.6g vs \
+                                   predicted %.6g (tolerance %.3g)"
+                                  lac.Lac.target e2 err tol)
+                          end
+                      | Errest.Metrics.Mred -> ()
+                    end;
                     events :=
                       {
                         iteration = !iteration;
@@ -356,6 +456,7 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
   (match config.resyn with
   | Config.Compress2 ->
       let final = Aig.Resyn.compress2 !g in
+      certify_exact_step "final resyn" !g final;
       if
         Graph.num_ands final < Graph.num_ands !g
         && Aig.Topo.depth final <= depth_limit
@@ -405,6 +506,19 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
       resumed = init <> None;
       pool = Parallel.Pool.stats pool;
       events = List.rev !events;
+      certify =
+        (if config.certify_exact then
+           Some
+             {
+               exact_checks = !cert_exact_checks;
+               exact_confirmed = !cert_exact_confirmed;
+               exact_undecided = !cert_exact_undecided;
+               exact_refuted = !cert_exact_refuted;
+               lac_rechecks = !cert_lac_rechecks;
+               lac_recheck_failures = !cert_lac_failures;
+               lac_max_deviation = !cert_lac_maxdev;
+             }
+         else None);
     } )
 
 let run ?journal ~(config : Config.t) g0 =

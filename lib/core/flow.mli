@@ -37,6 +37,26 @@ type event = Journal.event = {
   rounds : int;  (** care-simulation rounds [N] used this iteration *)
 }
 
+type certify = {
+  exact_checks : int;  (** miter checks run on exact-transform applications *)
+  exact_confirmed : int;  (** proven function-preserving by [Verify.Cec] *)
+  exact_undecided : int;
+      (** the bounded simulation-only portfolio could not close the miter;
+          never treated as a pass *)
+  exact_refuted : int;  (** proven NOT function-preserving — an internal bug *)
+  lac_rechecks : int;  (** accepted LACs re-simulated on independent patterns *)
+  lac_recheck_failures : int;
+      (** rechecks deviating beyond the two-sample Hoeffding tolerance
+          ([Er]/[Nmed] only; [Mred] deviations are recorded but unbounded
+          per-round samples admit no such tolerance) *)
+  lac_max_deviation : float;
+      (** largest |recheck - prediction| observed over the run *)
+}
+(** Verdicts of [Config.certify_exact] runs: machine-checked evidence that
+    the run's two trust assumptions held — exact transforms preserved the
+    function, and accepted LACs err as predicted.  Counters are per-process
+    (not journaled): a resumed run reports the resumed portion only. *)
+
 type stop_reason =
   | Budget_exhausted  (** best candidate error exceeded the threshold *)
   | Stalled
@@ -68,6 +88,8 @@ type report = {
           busy/idle time); render with
           {!Errest.Observability.pp_pool_stats} *)
   events : event list;  (** in application order, including pre-resume *)
+  certify : certify option;
+      (** verification verdicts; [None] unless [Config.certify_exact] *)
 }
 
 val run : ?journal:string -> config:Config.t -> Aig.Graph.t -> Aig.Graph.t * report

@@ -102,6 +102,7 @@ let config_to_string (c : Config.t) =
   kv "guard" (string_of_bool c.guard);
   kv "guard_tol" (emit_float c.guard_tol);
   kv "confidence" (emit_float c.confidence);
+  kv "certify_exact" (string_of_bool c.certify_exact);
   kv "jobs" (string_of_int c.jobs);
   (* The fault plan is deliberately NOT persisted: injected faults belong to
      one process's run, not to the journal a resumed run continues from. *)
@@ -160,6 +161,8 @@ let config_of_string text =
            | "guard" -> c := { !c with Config.guard = parse_bool_exn key value }
            | "guard_tol" -> c := { !c with Config.guard_tol = parse_float_exn key value }
            | "confidence" -> c := { !c with Config.confidence = parse_float_exn key value }
+           | "certify_exact" ->
+               c := { !c with Config.certify_exact = parse_bool_exn key value }
            | "jobs" -> c := { !c with Config.jobs = parse_int_exn key value }
            | _ -> failwith (Printf.sprintf "journal: unknown config key %S" key));
   !c

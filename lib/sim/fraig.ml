@@ -15,10 +15,10 @@ let supports g =
       Bitvec.logor_inplace s sup.(Graph.node_of (Graph.fanin1 g id)));
   sup
 
-let run ?(max_support = 14) ?(rounds = 256) ?(seed = 1) g =
+let sweep ?(max_support = 14) ?(rounds = 256) ?(seed = 1) g =
   let g = Graph.compact g in
   let npis = Graph.num_pis g in
-  if npis = 0 then g
+  if npis = 0 then (g, 0)
   else begin
     let rng = Logic.Rng.create seed in
     let pats = Patterns.random rng ~npis ~len:rounds in
@@ -77,9 +77,13 @@ let run ?(max_support = 14) ?(rounds = 256) ?(seed = 1) g =
                   | None -> ())
               rest)
       classes;
-    if Hashtbl.length replacements = 0 then g
+    if Hashtbl.length replacements = 0 then (g, 0)
     else begin
       let merged = Graph.rebuild ~replace:(Hashtbl.find_opt replacements) g in
-      if Graph.num_ands merged <= Graph.num_ands g then merged else g
+      if Graph.num_ands merged <= Graph.num_ands g then
+        (merged, Hashtbl.length replacements)
+      else (g, 0)
     end
   end
+
+let run ?max_support ?rounds ?seed g = fst (sweep ?max_support ?rounds ?seed g)

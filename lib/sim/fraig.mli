@@ -18,3 +18,11 @@ val run :
 (** Defaults: [max_support = 14], [rounds = 256], [seed = 1].  The result is
     functionally equivalent to the input (merges are proven), never larger,
     and re-strashed. *)
+
+val sweep :
+  ?max_support:int -> ?rounds:int -> ?seed:int -> Aig.Graph.t -> Aig.Graph.t * int
+(** One merge pass with the same defaults and guarantees as {!run}, also
+    returning the number of proven merges that were applied ([0] when the
+    pass was a no-op).  Callers that need a fixpoint — notably the miter
+    reduction loop of [Verify.Cec] — iterate this until the count drops to
+    zero. *)

@@ -120,6 +120,49 @@ let validate t =
     Ok ()
   with Bad msg -> Error msg
 
+let to_graph t =
+  let module Graph = Aig.Graph in
+  let g = Graph.create ~name:t.name () in
+  let nets = Array.make (net_count t) Graph.const0 in
+  for i = 0 to t.npis - 1 do
+    nets.(i) <- Graph.add_pi ~name:t.pi_names.(i) g
+  done;
+  let lit_of_source = function
+    | Const false -> Graph.const0
+    | Const true -> Graph.const1
+    | Net n -> nets.(n)
+  in
+  Array.iteri
+    (fun ci c ->
+      let ins = Array.map lit_of_source c.fanins in
+      let nvars = Truth.num_vars c.tt in
+      let out =
+        if Truth.is_const0 c.tt then Graph.const0
+        else if Truth.is_const1 c.tt then Graph.const1
+        else begin
+          let cover = Logic.Isop.compute ~on:c.tt ~dc:(Truth.const0 nvars) in
+          List.fold_left
+            (fun acc cube ->
+              let prod = ref Graph.const1 in
+              for v = 0 to nvars - 1 do
+                match Logic.Cube.phase_of cube v with
+                | Some true -> prod := Graph.and_ g !prod ins.(v)
+                | Some false -> prod := Graph.and_ g !prod (Graph.lit_not ins.(v))
+                | None -> ()
+              done;
+              (* acc OR prod, via De Morgan *)
+              Graph.lit_not
+                (Graph.and_ g (Graph.lit_not acc) (Graph.lit_not !prod)))
+            Graph.const0 cover.Logic.Cover.cubes
+        end
+      in
+      nets.(t.npis + ci) <- out)
+    t.cells;
+  Array.iteri
+    (fun o src -> ignore (Graph.add_po ~name:t.po_names.(o) g (lit_of_source src)))
+    t.pos;
+  g
+
 let pp_stats ppf t =
   Format.fprintf ppf "%s: pi=%d po=%d cells=%d area=%.1f delay=%.2f depth=%d" t.name
     t.npis (Array.length t.pos) (num_cells t) (area t) (delay t) (depth t)

@@ -41,6 +41,12 @@ val simulate : t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
 val validate : t -> (unit, string) result
 (** Topological-order and arity checks. *)
 
+val to_graph : t -> Aig.Graph.t
+(** Re-express the netlist as an AIG computing the same function: each
+    cell's truth table is expanded into an ISOP cover over its fanin nets.
+    PI/PO order and names are preserved, so the result can be compared
+    against the mapper's source AIG by an equivalence checker. *)
+
 val eval_tt_sigs : Logic.Truth.t -> Logic.Bitvec.t array -> Logic.Bitvec.t
 (** Word-parallel evaluation of a small truth table over input signatures
     (shared with the resubstitution engine's candidate scoring). *)

@@ -1,0 +1,140 @@
+module Graph = Aig.Graph
+module Rng = Logic.Rng
+
+type profile = {
+  npis : int;
+  npos : int;
+  nands : int;
+  reconv : float;
+  compl_p : float;
+}
+
+let default = { npis = 8; npos = 3; nands = 60; reconv = 0.5; compl_p = 0.5 }
+
+let random ?(profile = default) seed =
+  let p = profile in
+  if p.npis <= 0 || p.npos <= 0 || p.nands < 0 then
+    invalid_arg "Verify.Gen.random: non-positive profile counts";
+  let rng = Rng.create seed in
+  let g = Graph.create ~name:(Printf.sprintf "gen%d" seed) () in
+  let lits = Array.make (p.npis + p.nands) Graph.const0 in
+  for i = 0 to p.npis - 1 do
+    lits.(i) <- Graph.add_pi g
+  done;
+  let navail = ref p.npis in
+  let seen = Hashtbl.create (p.npis + p.nands) in
+  for i = 0 to p.npis - 1 do
+    Hashtbl.replace seen (Graph.node_of lits.(i)) ()
+  done;
+  let window = max 2 (p.nands / 8) in
+  let pick () =
+    let idx =
+      if !navail > window && Rng.float rng < p.reconv then
+        !navail - 1 - Rng.int rng window
+      else Rng.int rng !navail
+    in
+    let l = lits.(idx) in
+    if Rng.float rng < p.compl_p then Graph.lit_not l else l
+  in
+  (* Strashing may fold an attempt into a constant or an existing signal;
+     only genuinely new gates enter the pool, so the AND count is honest. *)
+  let attempts = ref 0 in
+  while !navail < p.npis + p.nands && !attempts < 8 * (p.nands + 1) do
+    incr attempts;
+    let l = Graph.and_ g (pick ()) (pick ()) in
+    let id = Graph.node_of l in
+    if id > 0 && not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      lits.(!navail) <- l;
+      incr navail
+    end
+  done;
+  (* POs drive the most recent distinct signals (wrapping when the pool is
+     small), each in a random phase. *)
+  for o = 0 to p.npos - 1 do
+    let l = lits.(!navail - 1 - (o mod !navail)) in
+    ignore
+      (Graph.add_po ~name:(Printf.sprintf "po%d" o) g
+         (if Rng.bool rng then Graph.lit_not l else l))
+  done;
+  g
+
+(* ---------- Mutations ---------- *)
+
+type mutation =
+  | Flip_polarity of { node : int; side : int }
+  | Swap_fanin of { node : int; side : int; with_lit : Graph.lit }
+
+let mutation_to_string = function
+  | Flip_polarity { node; side } ->
+      Printf.sprintf "flip polarity of fanin %d of gate %d" side node
+  | Swap_fanin { node; side; with_lit } ->
+      Printf.sprintf "swap fanin %d of gate %d with literal %d" side node with_lit
+
+(* AND gates in the transitive fanin of at least one PO. *)
+let live_ands g =
+  let mark = Array.make (Graph.num_nodes g) false in
+  let rec visit id =
+    if not mark.(id) then begin
+      mark.(id) <- true;
+      if Graph.is_and g id then begin
+        visit (Graph.node_of (Graph.fanin0 g id));
+        visit (Graph.node_of (Graph.fanin1 g id))
+      end
+    end
+  in
+  Graph.iter_pos g (fun _ l -> visit (Graph.node_of l));
+  let acc = ref [] in
+  for id = Graph.num_nodes g - 1 downto 0 do
+    if mark.(id) && Graph.is_and g id then acc := id :: !acc
+  done;
+  !acc
+
+let apply g mutation =
+  let g' = Graph.create ~name:(Graph.name g ^ "-mut") () in
+  let map = Array.make (Graph.num_nodes g) Graph.const0 in
+  for i = 0 to Graph.num_pis g - 1 do
+    map.(Graph.pi_node g i) <- Graph.add_pi ~name:(Graph.pi_name g i) g'
+  done;
+  let lit l = Graph.lit_not_cond map.(Graph.node_of l) (Graph.is_compl l) in
+  Graph.iter_ands g (fun id ->
+      let f0 = ref (lit (Graph.fanin0 g id)) and f1 = ref (lit (Graph.fanin1 g id)) in
+      (match mutation with
+      | Flip_polarity { node; side } when node = id ->
+          if side = 0 then f0 := Graph.lit_not !f0 else f1 := Graph.lit_not !f1
+      | Swap_fanin { node; side; with_lit } when node = id ->
+          (* [with_lit] names a node below [id], so it is already mapped. *)
+          let wl = lit with_lit in
+          if side = 0 then f0 := wl else f1 := wl
+      | _ -> ());
+      map.(id) <- Graph.and_ g' !f0 !f1);
+  Graph.iter_pos g (fun o l -> ignore (Graph.add_po ~name:(Graph.po_name g o) g' (lit l)));
+  g'
+
+let mutate ~seed g =
+  let rng = Rng.create seed in
+  match live_ands g with
+  | [] -> None
+  | live ->
+      let live = Array.of_list live in
+      let target = live.(Rng.int rng (Array.length live)) in
+      let side = Rng.int rng 2 in
+      let mutation =
+        if Rng.bool rng then Flip_polarity { node = target; side }
+        else begin
+          (* Replacement fanin: any non-constant node strictly below the
+             target (acyclicity for free), in a random phase. *)
+          let below = ref [] in
+          for id = target - 1 downto 1 do
+            if Graph.is_pi g id || Graph.is_and g id then below := id :: !below
+          done;
+          match !below with
+          | [] -> Flip_polarity { node = target; side }
+          | l ->
+              let arr = Array.of_list l in
+              let with_node = arr.(Rng.int rng (Array.length arr)) in
+              Swap_fanin
+                { node = target; side; with_lit = Graph.make_lit with_node (Rng.bool rng) }
+        end
+      in
+      Some (apply g mutation, mutation)

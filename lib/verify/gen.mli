@@ -1,0 +1,50 @@
+(** Seeded random-circuit generation for verification workloads.
+
+    Everything here is a pure function of an integer seed (through
+    {!Logic.Rng}): no wall-clock, no [Random.self_init], consistent with the
+    determinism rules of [lib/parallel].  Equal seeds yield structurally
+    identical graphs, so a failing seed printed by a test reproduces the
+    exact circuit anywhere. *)
+
+type profile = {
+  npis : int;  (** primary inputs *)
+  npos : int;  (** primary outputs *)
+  nands : int;  (** target AND count (strashing may fold a few away) *)
+  reconv : float;
+      (** probability in [0,1] of drawing a fanin from the most recent
+          window of signals instead of uniformly — higher values create
+          deeper, more reconvergent cones *)
+  compl_p : float;  (** probability of complementing each fanin edge *)
+}
+
+val default : profile
+(** [{ npis = 8; npos = 3; nands = 60; reconv = 0.5; compl_p = 0.5 }] —
+    small enough that equivalence checks close exhaustively, structured
+    enough to exercise rewriting and refactoring. *)
+
+val random : ?profile:profile -> int -> Aig.Graph.t
+(** [random seed] builds a fresh graph.  The result always has exactly
+    [npis] PIs and [npos] POs, passes {!Aig.Check.check}, and contains at
+    most [nands] AND gates.  Raises [Invalid_argument] on a non-positive
+    PI/PO count. *)
+
+(** {1 Seeded mutations}
+
+    Single-gate faults for checker self-tests: a correct equivalence
+    checker must flag every mutation that changes the function. *)
+
+type mutation =
+  | Flip_polarity of { node : int; side : int }
+      (** complement fanin [side] (0 or 1) of gate [node] *)
+  | Swap_fanin of { node : int; side : int; with_lit : Aig.Graph.lit }
+      (** replace fanin [side] of gate [node] with an unrelated literal *)
+
+val mutation_to_string : mutation -> string
+
+val mutate : seed:int -> Aig.Graph.t -> (Aig.Graph.t * mutation) option
+(** Apply one seeded random mutation to a gate lying in the transitive
+    fanin of at least one PO.  [None] if the graph has no such gate.  The
+    input graph is not modified.  The mutated gate is live but not
+    necessarily observable, so the result {e may} still compute the same
+    function — callers that need a guaranteed functional change must screen
+    with an oracle (the test-suite uses exhaustive naive evaluation). *)

@@ -1,0 +1,49 @@
+(** Property-based testing over random circuits, with shrinking.
+
+    [check] runs a property over circuits generated from consecutive seeds;
+    on failure the circuit is shrunk toward a minimal counterexample
+    (dropping outputs, collapsing gates onto their fanins or constants) and
+    optionally dumped as an AIGER file so CI can archive it.  Every case is
+    reproducible from its printed seed. *)
+
+type failure = {
+  case_seed : int;  (** pass this to {!Gen.random} to rebuild the circuit *)
+  message : string;  (** the property's error for the shrunk circuit *)
+  original : Aig.Graph.t;
+  shrunk : Aig.Graph.t;
+  shrink_steps : int;  (** accepted reductions *)
+  dump : string option;  (** AIGER path of the shrunk circuit, if written *)
+}
+
+type outcome = Passed of int | Failed of failure
+
+val check :
+  ?profile:Gen.profile ->
+  ?dump_dir:string ->
+  name:string ->
+  seed:int ->
+  count:int ->
+  (Aig.Graph.t -> (unit, string) result) ->
+  outcome
+(** [check ~name ~seed ~count prop] evaluates [prop] on the circuits
+    [Gen.random (seed + i)] for [i < count], stopping at the first failure.
+    An exception escaping [prop] counts as a failure with the exception
+    text.  When [dump_dir] is given — or the [ALSRAC_PROP_DUMP] environment
+    variable is set — the shrunk counterexample is written there as
+    [<name>-seed<k>.aag] (directory created on demand; dump errors are
+    swallowed, the failure is reported either way). *)
+
+val failure_to_string : name:string -> failure -> string
+(** One line with the failing seed, the message, and the shrunk sizes —
+    what a test harness should print. *)
+
+val check_exn :
+  ?profile:Gen.profile ->
+  ?dump_dir:string ->
+  name:string ->
+  seed:int ->
+  count:int ->
+  (Aig.Graph.t -> (unit, string) result) ->
+  unit
+(** Like {!check} but raises [Failure] with {!failure_to_string} on a
+    failing case. *)
