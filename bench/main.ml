@@ -449,6 +449,214 @@ let pool_bench () =
       Errest.Batch.candidate_errors ~pool batch specs = ref_errs)
     (fun pool -> ignore (Errest.Batch.candidate_errors ~pool batch specs))
 
+(* ---------- Scoring-kernel microbenchmark (DESIGN.md section 10) ----------
+
+   Old vs new candidate scoring on a realistic candidate mix.  The "old"
+   kernel replicates the pre-CSR strategy faithfully: a dense TFO mask per
+   target (cached, as the old estimator cached it), a full re-simulation of
+   the masked cone via [Sim.Engine.resimulate_tfo], and a full
+   [Metrics.measure_prepared] over all POs and words.  The "new" kernel is
+   [Errest.Batch] — sparse frontier, difference-mask early exit,
+   incremental metric deltas.  Both must return bit-identical errors
+   ([Float.equal]); any mismatch fails the bench.
+
+   Writes BENCH_scoring.json next to the working directory.  Smoke mode
+   (ALSRAC_BENCH_SMOKE=1, used by CI) shrinks the fixture and exits
+   non-zero on a mismatch or a pathological (< 0.2x) slowdown. *)
+
+let smoke_mode =
+  match Sys.getenv_opt "ALSRAC_BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+type scoring_row = {
+  r_circuit : string;
+  r_metric : string;
+  r_workload : string;
+  r_rounds : int;
+  r_nspecs : int;
+  r_old_cps : float;  (** candidates/second, old kernel *)
+  r_new_cps : float;
+  r_speedup : float;
+  r_mean_frontier : float;  (** frontier nodes recomputed per candidate *)
+  r_early_exit_rate : float;
+  r_identical : bool;  (** every error Float.equal between kernels *)
+}
+
+let old_kernel g ~metric ~golden ~base =
+  let prep = Metrics.prepare metric ~golden in
+  let tfo_cache : (int, bool array) Hashtbl.t = Hashtbl.create 64 in
+  fun (node, new_sig) ->
+    let tfo =
+      match Hashtbl.find_opt tfo_cache node with
+      | Some m -> m
+      | None ->
+          let m = Aig.Cone.tfo_mask g node in
+          Hashtbl.add tfo_cache node m;
+          m
+    in
+    let pos = Sim.Engine.resimulate_tfo g ~base ~tfo ~node ~value:new_sig in
+    Metrics.measure_prepared prep ~approx:pos
+
+(* The synthetic stress mix, four candidate classes per target in rotation:
+   divisor copy, divisor complement, sparse diff (the target's signature
+   erring on a handful of rounds), and a full signature flip (the worst
+   case: every TFO word changes). *)
+let stress_specs rng g ~base ~rounds ~nspecs =
+  let ands =
+    let acc = ref [] in
+    Graph.iter_ands g (fun id -> acc := id :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let n = min nspecs (4 * Array.length ands) in
+  let sparse_diff id =
+    let v = Logic.Bitvec.copy base.(id) in
+    for _ = 1 to 8 do
+      let m = Logic.Rng.int rng rounds in
+      Logic.Bitvec.set v m (not (Logic.Bitvec.get v m))
+    done;
+    v
+  in
+  Array.init n (fun i ->
+      let id = ands.((i / 4 * (max 1 (4 * Array.length ands / (n + 4)))) mod Array.length ands) in
+      match i mod 4 with
+      | 0 -> (id, Logic.Bitvec.copy base.(Logic.Rng.int rng (max 1 id)))
+      | 1 -> (id, Logic.Bitvec.lognot base.(Logic.Rng.int rng (max 1 id)))
+      | 2 -> (id, sparse_diff id)
+      | _ -> (id, Logic.Bitvec.lognot base.(id)))
+
+(* The flow's real workload: candidates from the actual LAC generator on a
+   fresh care set, with their signatures evaluated exactly the way
+   [Core.Flow] builds scoring specs.  Such candidates agree with the target
+   on the care patterns, so their evaluation-set differences are sparse —
+   the case the event-driven kernel is built for. *)
+let lac_specs rng g ~metric ~base ~nspecs =
+  let care_rounds = 32 in
+  let care_pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:care_rounds in
+  let care_sigs = Sim.Engine.simulate g care_pats in
+  let config = Core.Config.default ~metric ~threshold:0.01 in
+  let lacs = Core.Lac.generate g ~config ~sigs:care_sigs ~rounds:care_rounds in
+  let specs =
+    List.map
+      (fun (lac : Core.Lac.t) ->
+        let pos_sigs = Array.map (fun d -> base.(d)) lac.Core.Lac.divisors in
+        (lac.Core.Lac.target, Logic.Cover.eval_sigs lac.Core.Lac.cover ~pos_sigs))
+      lacs
+  in
+  Array.of_list (List.filteri (fun i _ -> i < nspecs) specs)
+
+let time_scoring ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = wall () in
+    f ();
+    best := Float.min !best (wall () -. t0)
+  done;
+  !best
+
+let scoring_row (e : Circuits.Suite.entry) ~metric ~workload ~rounds ~nspecs =
+  let g = e.Circuits.Suite.build () in
+  let rng = Logic.Rng.create 42 in
+  let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:rounds in
+  let base = Sim.Engine.simulate g pats in
+  let golden = Sim.Engine.po_values g base in
+  let specs =
+    match workload with
+    | `Lac -> lac_specs rng g ~metric ~base ~nspecs
+    | `Stress -> stress_specs rng g ~base ~rounds ~nspecs
+  in
+  let n = Array.length specs in
+  if n = 0 then failwith ("scoring bench: no candidates for " ^ e.Circuits.Suite.name);
+  let old_score = old_kernel g ~metric ~golden ~base in
+  let old_errs = Array.map old_score specs in
+  let batch = Errest.Batch.create g ~metric ~golden ~base in
+  let new_errs = Errest.Batch.candidate_errors batch specs in
+  let identical = Array.for_all2 Float.equal old_errs new_errs in
+  let repeats = if smoke_mode then 2 else 3 in
+  let t_old = time_scoring ~repeats (fun () -> Array.iter (fun s -> ignore (old_score s)) specs) in
+  let t_new =
+    time_scoring ~repeats (fun () ->
+        ignore (Errest.Batch.candidate_errors batch specs))
+  in
+  let s = Errest.Batch.stats batch in
+  let scored = float_of_int (max 1 s.Errest.Batch.scored) in
+  {
+    r_circuit = e.Circuits.Suite.name;
+    r_metric = Metrics.kind_to_string metric;
+    r_workload = (match workload with `Lac -> "lac" | `Stress -> "stress");
+    r_rounds = rounds;
+    r_nspecs = n;
+    r_old_cps = float_of_int n /. Float.max 1e-9 t_old;
+    r_new_cps = float_of_int n /. Float.max 1e-9 t_new;
+    r_speedup = t_old /. Float.max 1e-9 t_new;
+    r_mean_frontier = float_of_int s.Errest.Batch.frontier_nodes /. scored;
+    r_early_exit_rate = float_of_int s.Errest.Batch.early_exits /. scored;
+    r_identical = identical;
+  }
+
+let scoring_json rows =
+  let row r =
+    Printf.sprintf
+      "  {\"circuit\": \"%s\", \"metric\": \"%s\", \"workload\": \"%s\", \
+       \"rounds\": %d, \"nspecs\": %d, \"old_candidates_per_s\": %.1f, \
+       \"new_candidates_per_s\": %.1f, \"speedup\": %.2f, \"mean_frontier\": \
+       %.1f, \"early_exit_rate\": %.4f, \"identical\": %b}"
+      r.r_circuit r.r_metric r.r_workload r.r_rounds r.r_nspecs r.r_old_cps
+      r.r_new_cps r.r_speedup r.r_mean_frontier r.r_early_exit_rate r.r_identical
+  in
+  Printf.sprintf "{\"mode\": \"%s\", \"rows\": [\n%s\n]}\n"
+    (if smoke_mode then "smoke" else "full")
+    (String.concat ",\n" (List.map row rows))
+
+let scoring () =
+  Printf.printf "\n== Scoring-kernel microbenchmark: old (dense TFO resim) vs new (event-driven) ==\n%!";
+  let fixtures =
+    if smoke_mode then
+      [ ("c880", Metrics.Er, `Lac, 512, 64); ("c880", Metrics.Er, `Stress, 512, 64) ]
+    else
+      [
+        (* The flow's real workload: LAC-generator candidates. *)
+        ("c880", Metrics.Er, `Lac, 8192, 256);
+        ("c7552", Metrics.Er, `Lac, 8192, 256);
+        ("mtp8", Metrics.Nmed, `Lac, 8192, 256);
+        ("c1908", Metrics.Mred, `Lac, 8192, 256);
+        (* Synthetic stress mix, including worst-case full flips. *)
+        ("c880", Metrics.Er, `Stress, 8192, 256);
+        ("mtp8", Metrics.Nmed, `Stress, 8192, 256);
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, metric, workload, rounds, nspecs) ->
+        match Circuits.Suite.find name with
+        | None -> failwith ("scoring bench: unknown circuit " ^ name)
+        | Some e ->
+            let r = scoring_row e ~metric ~workload ~rounds ~nspecs in
+            Printf.printf
+              "%-8s %-5s %-7s %5d rounds %4d cands | old %8.0f/s  new %8.0f/s  \
+               (%5.1fx) | frontier %7.1f  early-exit %5.1f%%%s\n\
+               %!"
+              r.r_circuit r.r_metric r.r_workload r.r_rounds r.r_nspecs r.r_old_cps
+              r.r_new_cps r.r_speedup r.r_mean_frontier
+              (100.0 *. r.r_early_exit_rate)
+              (if r.r_identical then "" else "  ERROR MISMATCH");
+            r)
+      fixtures
+  in
+  let out = open_out "BENCH_scoring.json" in
+  output_string out (scoring_json rows);
+  close_out out;
+  Printf.printf "wrote BENCH_scoring.json\n%!";
+  let bad_identity = List.exists (fun r -> not r.r_identical) rows in
+  if bad_identity then begin
+    Printf.eprintf "scoring bench: kernels disagree — new kernel is WRONG\n";
+    exit 1
+  end;
+  if smoke_mode && List.exists (fun r -> r.r_speedup < 0.2) rows then begin
+    Printf.eprintf "scoring bench: new kernel is >5x slower than the old one\n";
+    exit 1
+  end
+
 (* ---------- Ablation: ALSRAC design choices (DESIGN.md section 5) ---------- *)
 
 let ablations () =
@@ -494,6 +702,7 @@ let () =
   | "table7" -> table7 ()
   | "micro" -> micro ()
   | "pool" -> pool_bench ()
+  | "scoring" -> scoring ()
   | "ablations" -> ablations ()
   | "all" ->
       table3 ();
@@ -503,11 +712,12 @@ let () =
       table7 ();
       ablations ();
       micro ();
-      pool_bench ()
+      pool_bench ();
+      scoring ()
   | m ->
       Printf.eprintf
         "unknown mode %s \
-         (table3|table4|table5|table6|table7|ablations|micro|pool|all)\n"
+         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|all)\n"
         m;
       exit 1);
   Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)

@@ -178,6 +178,14 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             "resilience: %d guard rollbacks, %d quarantined targets, %d recovered exceptions\n"
             r.Core.Flow.guard_rejects r.Core.Flow.quarantined
             r.Core.Flow.recovered_exns;
+        (let s = r.Core.Flow.scoring in
+         if s.Errest.Batch.scored > 0 then
+           Printf.printf
+             "scoring: %d candidates (%d trivial, %d early exits), %d frontier \
+              nodes, %d changed POs, %d changed words\n"
+             s.Errest.Batch.scored s.Errest.Batch.trivial s.Errest.Batch.early_exits
+             s.Errest.Batch.frontier_nodes s.Errest.Batch.changed_pos
+             s.Errest.Batch.changed_words);
         if Array.length r.Core.Flow.pool > 1 then begin
           Printf.printf "parallel: %s (wall %.1fs, cpu %.1fs)\n"
             (Errest.Observability.pool_summary r.Core.Flow.pool)

@@ -1,0 +1,82 @@
+(* CSR fanout adjacency: one shared pair of int arrays instead of a dense
+   bool mask per source node.  Built in two counting passes over the edges;
+   node ids ascend topologically, so each node's consumer slice is sorted
+   ascending by construction (the fill pass visits consumers in id order). *)
+
+type t = {
+  g : Graph.t;
+  revision : int;
+  offsets : int array; (* num_nodes + 1 *)
+  targets : int array; (* AND consumers, grouped per source node *)
+  po_offsets : int array; (* num_nodes + 1 *)
+  po_targets : int array; (* PO indexes, grouped per driver node *)
+}
+
+let build g =
+  let n = Graph.num_nodes g in
+  let offsets = Array.make (n + 1) 0 in
+  let po_offsets = Array.make (n + 1) 0 in
+  (* Pass 1: out-degrees (an AND never has both fanins on the same node —
+     strashing folds [a AND a] and [a AND ~a] — but guard anyway so parsed
+     graphs cannot produce duplicate edges). *)
+  Graph.iter_ands g (fun id ->
+      let n0 = Graph.node_of (Graph.fanin0 g id) in
+      let n1 = Graph.node_of (Graph.fanin1 g id) in
+      offsets.(n0) <- offsets.(n0) + 1;
+      if n1 <> n0 then offsets.(n1) <- offsets.(n1) + 1);
+  Graph.iter_pos g (fun _ l ->
+      let d = Graph.node_of l in
+      po_offsets.(d) <- po_offsets.(d) + 1);
+  (* Exclusive prefix sums. *)
+  let acc = ref 0 in
+  for v = 0 to n do
+    let c = offsets.(v) in
+    offsets.(v) <- !acc;
+    acc := !acc + c
+  done;
+  let targets = Array.make !acc 0 in
+  let pacc = ref 0 in
+  for v = 0 to n do
+    let c = po_offsets.(v) in
+    po_offsets.(v) <- !pacc;
+    pacc := !pacc + c
+  done;
+  let po_targets = Array.make !pacc 0 in
+  (* Pass 2: fill, using the offsets as write cursors, then restore them by
+     shifting back (cursor of v ends exactly at offsets.(v+1)). *)
+  let cursor = Array.copy offsets in
+  Graph.iter_ands g (fun id ->
+      let n0 = Graph.node_of (Graph.fanin0 g id) in
+      let n1 = Graph.node_of (Graph.fanin1 g id) in
+      targets.(cursor.(n0)) <- id;
+      cursor.(n0) <- cursor.(n0) + 1;
+      if n1 <> n0 then begin
+        targets.(cursor.(n1)) <- id;
+        cursor.(n1) <- cursor.(n1) + 1
+      end);
+  let po_cursor = Array.copy po_offsets in
+  Graph.iter_pos g (fun i l ->
+      let d = Graph.node_of l in
+      po_targets.(po_cursor.(d)) <- i;
+      po_cursor.(d) <- po_cursor.(d) + 1);
+  { g; revision = Graph.revision g; offsets; targets; po_offsets; po_targets }
+
+let revision t = t.revision
+let matches t g = t.g == g && t.revision = Graph.revision g
+
+let offsets t = t.offsets
+let targets t = t.targets
+let po_offsets t = t.po_offsets
+let po_targets t = t.po_targets
+
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_fanouts t v f =
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.targets.(i)
+  done
+
+let iter_pos t v f =
+  for i = t.po_offsets.(v) to t.po_offsets.(v + 1) - 1 do
+    f t.po_targets.(i)
+  done

@@ -1,0 +1,48 @@
+(** CSR fanout adjacency, shared by every node of one graph revision.
+
+    Two compressed-sparse-row maps built in two passes over the edges:
+
+    - [offsets]/[targets]: node id → the AND gates consuming it as a fanin
+      (each consumer listed once, in ascending — hence topological — order);
+    - [po_offsets]/[po_targets]: node id → the primary-output indexes it
+      drives.
+
+    This replaces per-node dense TFO masks (O(|AIG|) memory each, unbounded
+    when cached) with one O(|V| + |E|) structure that supports sparse
+    frontier traversal: a change at [v] needs to visit only
+    [targets[offsets[v] .. offsets[v+1])], not every gate of the graph.
+
+    A [t] snapshots {!Graph.revision} at build time; any later structural
+    mutation of the graph makes it stale ({!matches} returns [false]) and
+    callers must rebuild. *)
+
+type t
+
+val build : Graph.t -> t
+(** Two counting passes over the AND edges and PO drivers; O(|V| + |E|). *)
+
+val revision : t -> int
+(** The {!Graph.revision} the structure was built at. *)
+
+val matches : t -> Graph.t -> bool
+(** [matches t g] iff [t] was built from this [g] instance and [g] has not
+    been structurally mutated since. *)
+
+val degree : t -> int -> int
+(** Number of AND consumers of a node. *)
+
+val iter_fanouts : t -> int -> (int -> unit) -> unit
+(** Visit the AND consumers of a node in ascending id order. *)
+
+val iter_pos : t -> int -> (int -> unit) -> unit
+(** Visit the PO indexes driven by a node. *)
+
+(** {1 Raw arrays}
+
+    For inner loops; treat as read-only.  Slice for node [v] is
+    [offsets.(v) .. offsets.(v+1) - 1]. *)
+
+val offsets : t -> int array
+val targets : t -> int array
+val po_offsets : t -> int array
+val po_targets : t -> int array

@@ -26,6 +26,7 @@ type t = {
   mutable po_names : string array;
   strash : (int * int, int) Hashtbl.t;
   mutable pi_pos : int array; (* node id -> PI index, -1 otherwise *)
+  mutable rev : int; (* bumped on every structural mutation *)
 }
 
 let create ?(name = "aig") () =
@@ -44,6 +45,7 @@ let create ?(name = "aig") () =
       po_names = Array.make 8 "";
       strash = Hashtbl.create 1024;
       pi_pos = Array.make cap (-1);
+      rev = 0;
     }
   in
   (* Node 0 is the constant; mark it as a non-AND. *)
@@ -79,6 +81,7 @@ let new_node g f0 f1 =
   g.fanin1.(id) <- f1;
   g.pi_pos.(id) <- -1;
   g.nnodes <- id + 1;
+  g.rev <- g.rev + 1;
   id
 
 let add_pi ?name g =
@@ -113,11 +116,15 @@ let add_po ?name g l =
   g.pos.(idx) <- l;
   g.po_names.(idx) <- (match name with Some n -> n | None -> Printf.sprintf "y%d" idx);
   g.npos <- idx + 1;
+  g.rev <- g.rev + 1;
   idx
 
 let set_po g i l =
   if i < 0 || i >= g.npos then invalid_arg "Graph.set_po: index out of range";
-  g.pos.(i) <- l
+  g.pos.(i) <- l;
+  g.rev <- g.rev + 1
+
+let revision g = g.rev
 
 let num_nodes g = g.nnodes
 let num_pis g = g.npis

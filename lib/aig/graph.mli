@@ -54,6 +54,11 @@ val set_po : t -> int -> lit -> unit
 val num_nodes : t -> int
 (** Including the constant node and the PIs. *)
 
+val revision : t -> int
+(** Structural mutation counter: bumped by every node/PO append and
+    [set_po].  Derived structures (e.g. {!Fanout.t}) record the revision
+    they were built at and treat a mismatch as staleness. *)
+
 val num_pis : t -> int
 val num_pos : t -> int
 

@@ -36,6 +36,7 @@ type report = {
   quarantined : int;
   resumed : bool;
   pool : Parallel.Pool.stat array;
+  scoring : Errest.Batch.stats;
   events : event list;
   certify : certify option;
 }
@@ -118,6 +119,9 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
   (* Certification counters are per-process observations (like fault plans,
      they are not journaled): a resumed run's verdicts cover the resumed
      portion only. *)
+  (* Scoring-kernel counters (same per-process policy as the certification
+     counters below: observational, not journaled). *)
+  let scoring = ref Errest.Batch.zero_stats in
   let cert_exact_checks = ref 0
   and cert_exact_confirmed = ref 0
   and cert_exact_undecided = ref 0
@@ -280,6 +284,7 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
           lac_arr
       in
       let errs = Errest.Batch.candidate_errors ~pool batch specs in
+      scoring := Errest.Batch.add_stats !scoring (Errest.Batch.stats batch);
       let scored =
         Array.to_list (Array.mapi (fun i lac -> (errs.(i), lac)) lac_arr)
       in
@@ -505,6 +510,7 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
       quarantined = Hashtbl.length quarantine;
       resumed = init <> None;
       pool = Parallel.Pool.stats pool;
+      scoring = !scoring;
       events = List.rev !events;
       certify =
         (if config.certify_exact then

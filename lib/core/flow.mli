@@ -87,6 +87,12 @@ type report = {
       (** per-worker execution counters of the run's pool (tasks, steals,
           busy/idle time); render with
           {!Errest.Observability.pp_pool_stats} *)
+  scoring : Errest.Batch.stats;
+      (** cumulative counters of the event-driven scoring kernel
+          ({!Errest.Batch.stats}): candidates scored, difference-mask early
+          exits, frontier nodes recomputed, changed POs/words re-measured.
+          Per-process like [certify] — not journaled, so a resumed run
+          reports the resumed portion only. *)
   events : event list;  (** in application order, including pre-resume *)
   certify : certify option;
       (** verification verdicts; [None] unless [Config.certify_exact] *)

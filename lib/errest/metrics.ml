@@ -51,17 +51,33 @@ let output_values pos =
   done;
   values
 
+(* Word-blocked summation: fold rounds per 62-round block, then fold the
+   block sums in block order.  This is THE float-summation order of every
+   error-distance measurement (full and incremental alike, DESIGN.md
+   section 10): a block whose rounds are untouched by a candidate
+   contributes the exact same partial sum, so cached per-block partials
+   compose bit-identically with recomputed ones. *)
+let sum_blocked len f =
+  let acc = ref 0.0 in
+  let lo = ref 0 in
+  while !lo < len do
+    let hi = min len (!lo + Bitvec.word_bits) in
+    let wacc = ref 0.0 in
+    for m = !lo to hi - 1 do
+      wacc := !wacc +. f m
+    done;
+    acc := !acc +. !wacc;
+    lo := hi
+  done;
+  !acc
+
 let fold_ed f ~golden ~approx =
   check_shapes golden approx;
   let len = num_rounds golden in
   if len = 0 then 0.0
   else begin
     let gv = output_values golden and av = output_values approx in
-    let acc = ref 0.0 in
-    for m = 0 to len - 1 do
-      acc := !acc +. f gv.(m) av.(m)
-    done;
-    !acc /. float_of_int len
+    sum_blocked len (fun m -> f gv.(m) av.(m)) /. float_of_int len
   end
 
 let mean_ed ~golden ~approx =
@@ -118,6 +134,11 @@ let prepare kind ~golden =
           weights = Array.map (fun g -> 1.0 /. float_of_int (max g 1)) values;
         }
 
+(* Per-round term of the prepared error-distance sum; any change here must
+   be mirrored in the incremental path below (bit-identity invariant). *)
+let ed_term values weights av m =
+  float_of_int (abs (values.(m) - av.(m))) *. weights.(m)
+
 let measure_prepared prep ~approx =
   match prep with
   | Prep_er golden -> er ~golden ~approx
@@ -127,11 +148,149 @@ let measure_prepared prep ~approx =
       if len = 0 then 0.0
       else begin
         let av = output_values approx in
-        let acc = ref 0.0 in
-        for m = 0 to len - 1 do
-          acc := !acc +. (float_of_int (abs (values.(m) - av.(m))) *. weights.(m))
+        sum_blocked len (ed_term values weights av) /. float_of_int len
+      end
+
+(* ---------- Incremental measurement ----------
+
+   Per-word base contributions so a candidate pays only for the words its
+   change actually reaches.  ER keeps the OR-of-differences per word (an
+   integer, so the delta is exact by construction); NMED/MRED keep the
+   word's partial sum in the blocked order above, so substituting the
+   recomputed words and re-folding all blocks reproduces the full
+   measurement bit-for-bit. *)
+
+type incremental =
+  | Inc_er of {
+      len : int;
+      golden_words : int array array;  (** borrowed per-PO word arrays *)
+      base_or : int array;  (** per word: OR over POs of golden ^ base *)
+      base_pop : int;
+    }
+  | Inc_ed of {
+      len : int;
+      nwords : int;
+      npos : int;
+      values : int array;  (** decoded golden output values (borrowed) *)
+      weights : float array;  (** per-round multipliers (borrowed) *)
+      base_contrib : float array;  (** per-word partial sums *)
+      base_total : float;  (** fold of [base_contrib] in word order *)
+    }
+
+let prepare_incremental prep ~approx =
+  match prep with
+  | Prep_er golden ->
+      check_shapes golden approx;
+      let len = num_rounds golden in
+      let nwords = if len = 0 then 0 else Bitvec.num_words golden.(0) in
+      let golden_words = Array.map Bitvec.unsafe_words golden in
+      let approx_words = Array.map Bitvec.unsafe_words approx in
+      let base_or = Array.make nwords 0 in
+      for i = 0 to Array.length golden - 1 do
+        let gw = golden_words.(i) and aw = approx_words.(i) in
+        for w = 0 to nwords - 1 do
+          base_or.(w) <- base_or.(w) lor (gw.(w) lxor aw.(w))
+        done
+      done;
+      let base_pop = ref 0 in
+      for w = 0 to nwords - 1 do
+        base_pop := !base_pop + Bitvec.popcount_word base_or.(w)
+      done;
+      Inc_er { len; golden_words; base_or; base_pop = !base_pop }
+  | Prep_ed { golden; values; weights } ->
+      check_shapes golden approx;
+      let len = num_rounds golden in
+      let nwords = if len = 0 then 0 else Bitvec.num_words golden.(0) in
+      let av = output_values approx in
+      let base_contrib = Array.make nwords 0.0 in
+      for w = 0 to nwords - 1 do
+        let lo = w * Bitvec.word_bits in
+        let hi = min len (lo + Bitvec.word_bits) in
+        let wacc = ref 0.0 in
+        for m = lo to hi - 1 do
+          wacc := !wacc +. ed_term values weights av m
         done;
-        !acc /. float_of_int len
+        base_contrib.(w) <- !wacc
+      done;
+      let base_total = ref 0.0 in
+      for w = 0 to nwords - 1 do
+        base_total := !base_total +. base_contrib.(w)
+      done;
+      Inc_ed
+        {
+          len;
+          nwords;
+          npos = Array.length golden;
+          values;
+          weights;
+          base_contrib;
+          base_total = !base_total;
+        }
+
+let incremental_base = function
+  | Inc_er { len; base_pop; _ } ->
+      if len = 0 then 0.0 else float_of_int base_pop /. float_of_int len
+  | Inc_ed { len; base_total; _ } ->
+      if len = 0 then 0.0 else base_total /. float_of_int len
+
+let measure_incremental inc ~nchanged ~changed_words ~get_word =
+  match inc with
+  | Inc_er { len; golden_words; base_or; base_pop } ->
+      if len = 0 then 0.0
+      else begin
+        let npos = Array.length golden_words in
+        let delta = ref 0 in
+        for k = 0 to nchanged - 1 do
+          let w = changed_words.(k) in
+          let new_or = ref 0 in
+          for i = 0 to npos - 1 do
+            new_or := !new_or lor (golden_words.(i).(w) lxor get_word i w)
+          done;
+          delta :=
+            !delta + Bitvec.popcount_word !new_or - Bitvec.popcount_word base_or.(w)
+        done;
+        float_of_int (base_pop + !delta) /. float_of_int len
+      end
+  | Inc_ed { len; nwords; npos; values; weights; base_contrib; _ } ->
+      if len = 0 then 0.0
+      else begin
+        (* Recompute the contribution of each changed word (decoding output
+           values for just its rounds), then re-fold ALL words in order. *)
+        let av = Array.make Bitvec.word_bits 0 in
+        let new_contrib = Array.make (max 1 nchanged) 0.0 in
+        for k = 0 to nchanged - 1 do
+          let w = changed_words.(k) in
+          let lo = w * Bitvec.word_bits in
+          let hi = min len (lo + Bitvec.word_bits) in
+          let nb = hi - lo in
+          Array.fill av 0 nb 0;
+          for i = 0 to npos - 1 do
+            let aw = get_word i w in
+            if aw <> 0 then
+              for r = 0 to nb - 1 do
+                av.(r) <- av.(r) lor (((aw lsr r) land 1) lsl i)
+              done
+          done;
+          let wacc = ref 0.0 in
+          for m = lo to hi - 1 do
+            wacc :=
+              !wacc +. (float_of_int (abs (values.(m) - av.(m - lo))) *. weights.(m))
+          done;
+          new_contrib.(k) <- !wacc
+        done;
+        let total = ref 0.0 and k = ref 0 in
+        for w = 0 to nwords - 1 do
+          let c =
+            if !k < nchanged && changed_words.(!k) = w then begin
+              let c = new_contrib.(!k) in
+              incr k;
+              c
+            end
+            else base_contrib.(w)
+          in
+          total := !total +. c
+        done;
+        !total /. float_of_int len
       end
 
 let compare_graphs kind ~original ~approx patterns =

@@ -34,6 +34,46 @@ type prepared
 val prepare : kind -> golden:Logic.Bitvec.t array -> prepared
 
 val measure_prepared : prepared -> approx:Logic.Bitvec.t array -> float
+(** Error of one approximation against the prepared golden outputs.  Error
+    distances are summed word-blocked: per 62-round block in round order,
+    then across blocks in block order — the same order the incremental path
+    below uses, which is what makes the two bit-identical. *)
+
+(** {1 Incremental measurement}
+
+    Per-word base contributions, so a candidate whose change reaches only a
+    few signature words pays only for those words plus one cheap fold over
+    the per-word partials.  The invariant (enforced by the differential
+    tests): for any approximation, substituting the recomputed contributions
+    of exactly the words whose PO signatures differ from the base and
+    re-folding reproduces {!measure_prepared} on the full approximation
+    {e bit-for-bit} ([Float.equal], not approximately). *)
+
+type incremental
+
+val prepare_incremental :
+  prepared -> approx:Logic.Bitvec.t array -> incremental
+(** [prepare_incremental prep ~approx] caches the per-word state of the BASE
+    approximation [approx]: for ER the per-word OR of output differences and
+    its popcount; for NMED/MRED the per-word weighted partial sums.  The
+    result is immutable and safe to share read-only across domains. *)
+
+val incremental_base : incremental -> float
+(** Error of the base approximation itself; bit-identical to
+    [measure_prepared prep ~approx:base]. *)
+
+val measure_incremental :
+  incremental ->
+  nchanged:int ->
+  changed_words:int array ->
+  get_word:(int -> int -> int) ->
+  float
+(** [measure_incremental inc ~nchanged ~changed_words ~get_word] is the
+    error of a candidate that differs from the base only inside signature
+    words [changed_words.(0 .. nchanged - 1)] (sorted ascending, no
+    duplicates).  [get_word po w] must return word [w] of the candidate's
+    signature for PO [po] — tail-masked, and equal to the base word for
+    every [w] outside the changed set. *)
 
 val worst_case_ed : golden:Logic.Bitvec.t array -> approx:Logic.Bitvec.t array -> int
 (** Largest absolute error distance over the sampled rounds (not one of the

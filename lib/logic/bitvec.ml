@@ -97,6 +97,22 @@ let blit src dst =
   check_lengths dst src;
   Array.blit src.words 0 dst.words 0 (Array.length src.words)
 
+(* Fused three-address kernels: no temporaries, one pass per call. *)
+
+let xor_into dst a b =
+  check_lengths dst a;
+  check_lengths dst b;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) lxor b.words.(i)
+  done
+
+let lognot_into dst src =
+  check_lengths dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- lnot src.words.(i) land word_mask
+  done;
+  mask_tail dst
+
 (* SWAR popcount adapted to 62 significant bits (the two spare top bits are
    always zero, so the 64-bit constants stay valid). *)
 let popcount_word w =
@@ -112,13 +128,15 @@ let popcount t =
   done;
   !acc
 
-let hamming a b =
+let popcount_xor a b =
   check_lengths a b;
   let acc = ref 0 in
   for i = 0 to Array.length a.words - 1 do
     acc := !acc + popcount_word (a.words.(i) lxor b.words.(i))
   done;
   !acc
+
+let hamming = popcount_xor
 
 let is_zero t = Array.for_all (fun w -> w = 0) t.words
 

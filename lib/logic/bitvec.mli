@@ -54,6 +54,21 @@ val logxor_inplace : t -> t -> unit
 val blit : t -> t -> unit
 (** [blit src dst] copies [src] into [dst]. *)
 
+(** {1 Fused kernels}
+
+    Three-address, single-pass, no temporaries — for inner scoring loops. *)
+
+val xor_into : t -> t -> t -> unit
+(** [xor_into dst a b] stores [a XOR b] in [dst] ([dst] may alias [a] or
+    [b]). *)
+
+val lognot_into : t -> t -> unit
+(** [lognot_into dst src] stores [NOT src] in [dst] (tail bits kept zero). *)
+
+val popcount_xor : t -> t -> int
+(** [popcount_xor a b] is [popcount (logxor a b)] without materializing the
+    difference vector; {!hamming} is an alias. *)
+
 val popcount : t -> int
 (** Number of set bits. *)
 
@@ -90,3 +105,6 @@ val unsafe_words : t -> int array
 val mask_tail : t -> unit
 val word_mask : int
 (** All 62 payload bits set. *)
+
+val popcount_word : int -> int
+(** SWAR popcount of one 62-bit payload word. *)

@@ -187,6 +187,196 @@ let test_batch_base_error_zero () =
   let batch = Errest.Batch.create g ~metric:Metrics.Er ~golden ~base in
   check_float "no change, no error" 0.0 (Errest.Batch.base_error batch)
 
+(* ---------- Differential oracle: event-driven kernel vs full resim ----------
+
+   The event-driven kernel (sparse frontier + difference-mask early exit +
+   incremental metric deltas) must return EXACTLY — [Float.equal], not
+   within a tolerance — the error a naive full TFO re-simulation and full
+   prepared measurement returns, for every metric and candidate shape. *)
+
+let oracle_error g ~prep ~base ~node ~new_sig =
+  let tfo = Aig.Cone.tfo_mask g node in
+  let pos = Sim.Engine.resimulate_tfo g ~base ~tfo ~node ~value:new_sig in
+  Metrics.measure_prepared prep ~approx:pos
+
+let all_metrics = [ Metrics.Er; Metrics.Nmed; Metrics.Mred ]
+
+(* Candidate signatures exercising every kernel path: divisor copy and
+   complement (what the LAC flow produces), a fully random signature (dense
+   diffs, many changed words), and the base signature itself (trivial). *)
+let candidate_specs rng ~base ~targets =
+  let len = Bitvec.length base.(0) in
+  List.concat_map
+    (fun node ->
+      let s = Logic.Rng.int rng (max 1 node) in
+      [
+        (node, Bitvec.copy base.(s));
+        (node, Bitvec.lognot base.(s));
+        (node, Bitvec.random rng len);
+        (node, Bitvec.copy base.(node));
+      ])
+    targets
+
+let random_targets rng g ~count =
+  let ands = ref [] in
+  Graph.iter_ands g (fun id -> ands := id :: !ands);
+  match Array.of_list !ands with
+  | [||] -> []
+  | arr -> List.init count (fun _ -> arr.(Logic.Rng.int rng (Array.length arr)))
+
+(* Score [specs] with the kernel (optionally through a pool) and demand
+   bit-identity with the oracle on every candidate, plus on the base error
+   itself. *)
+let differential_check ?pool g ~metric ~pats ~specs =
+  let golden = Sim.Engine.simulate_pos g pats in
+  let base = Sim.Engine.simulate g pats in
+  let prep = Metrics.prepare metric ~golden in
+  let batch = Errest.Batch.create g ~metric ~golden ~base in
+  let base_oracle =
+    Metrics.measure_prepared prep ~approx:(Sim.Engine.po_values g base)
+  in
+  if not (Float.equal (Errest.Batch.base_error batch) base_oracle) then
+    Alcotest.failf "base error: kernel %.17g <> oracle %.17g"
+      (Errest.Batch.base_error batch) base_oracle;
+  let specs = Array.of_list specs in
+  let fast = Errest.Batch.candidate_errors ?pool batch specs in
+  Array.iteri
+    (fun i (node, new_sig) ->
+      let slow = oracle_error g ~prep ~base ~node ~new_sig in
+      if not (Float.equal fast.(i) slow) then
+        Alcotest.failf
+          "metric %s, node %d, candidate %d: kernel %.17g <> oracle %.17g"
+          (Metrics.kind_to_string metric) node i fast.(i) slow)
+    specs;
+  Errest.Batch.stats batch
+
+(* Pattern lengths chosen to exercise full words, a partial tail word, and
+   the single-word case. *)
+let pattern_lens = [| 62; 50; 193; 248 |]
+
+let gen_profile seed =
+  {
+    Verify.Gen.npis = 5 + (seed mod 4);
+    npos = 2 + (seed mod 6);
+    nands = 40 + (seed mod 60);
+    reconv = 0.3 +. (0.1 *. float_of_int (seed mod 5));
+    compl_p = 0.5;
+  }
+
+let test_differential_random_circuits () =
+  for seed = 1 to 120 do
+    let g = Verify.Gen.random ~profile:(gen_profile seed) seed in
+    let rng = Logic.Rng.create (seed * 7919) in
+    let pats =
+      Sim.Patterns.random rng ~npis:(Graph.num_pis g)
+        ~len:pattern_lens.(seed mod Array.length pattern_lens)
+    in
+    let metric = List.nth all_metrics (seed mod 3) in
+    match random_targets rng g ~count:2 with
+    | [] -> ()
+    | targets ->
+        let base = Sim.Engine.simulate g pats in
+        let specs = candidate_specs rng ~base ~targets in
+        ignore (differential_check g ~metric ~pats ~specs : Errest.Batch.stats)
+  done
+
+let test_differential_jobs_invariance () =
+  (* The same circuits and candidates through a 4-lane pool: per-candidate
+     errors AND the merged scoring counters must match the sequential run
+     exactly. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      for seed = 1 to 40 do
+        let g = Verify.Gen.random ~profile:(gen_profile seed) (seed + 1000) in
+        let rng = Logic.Rng.create (seed * 104729) in
+        let pats =
+          Sim.Patterns.random rng ~npis:(Graph.num_pis g)
+            ~len:pattern_lens.(seed mod Array.length pattern_lens)
+        in
+        let metric = List.nth all_metrics (seed mod 3) in
+        match random_targets rng g ~count:2 with
+        | [] -> ()
+        | targets ->
+            let base = Sim.Engine.simulate g pats in
+            let specs = candidate_specs rng ~base ~targets in
+            let s1 = differential_check g ~metric ~pats ~specs in
+            let s4 = differential_check ~pool g ~metric ~pats ~specs in
+            check "stats identical at jobs=1 and jobs=4" true (s1 = s4)
+      done)
+
+let test_differential_benchmark_suite () =
+  List.iter
+    (fun name ->
+      match Circuits.Suite.find name with
+      | None -> Alcotest.failf "unknown benchmark %s" name
+      | Some e ->
+          let g = (e.Circuits.Suite.build) () in
+          let rng = Logic.Rng.create 0xD1FF in
+          let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:248 in
+          let base = Sim.Engine.simulate g pats in
+          let targets = random_targets rng g ~count:3 in
+          let specs = candidate_specs rng ~base ~targets in
+          List.iter
+            (fun metric ->
+              ignore (differential_check g ~metric ~pats ~specs : Errest.Batch.stats))
+            all_metrics)
+    [ "c880"; "c1908"; "c2670" ]
+
+let test_early_exit_counter () =
+  (* y = (a AND b) AND c.  Flip x = a AND b exactly where c = 0: the
+     difference dies at y, so the kernel must early-exit to the base error
+     without materializing any PO. *)
+  let g = Graph.create () in
+  let a = Graph.add_pi g and b = Graph.add_pi g and c = Graph.add_pi g in
+  let x = Graph.and_ g a b in
+  let y = Graph.and_ g x c in
+  ignore (Graph.add_po g y);
+  let pats = Sim.Patterns.exhaustive ~npis:3 in
+  let golden = Sim.Engine.simulate_pos g pats in
+  let base = Sim.Engine.simulate g pats in
+  let batch = Errest.Batch.create g ~metric:Metrics.Er ~golden ~base in
+  let xn = Graph.node_of x and cn = Graph.node_of c in
+  let new_sig = Bitvec.logxor base.(xn) (Bitvec.lognot base.(cn)) in
+  let e = Errest.Batch.candidate_error batch ~node:xn ~new_sig in
+  check "masked change keeps base error" true
+    (Float.equal e (Errest.Batch.base_error batch));
+  let s = Errest.Batch.stats batch in
+  Alcotest.(check int) "one early exit" 1 s.Errest.Batch.early_exits;
+  Alcotest.(check int) "frontier visited only y" 1 s.Errest.Batch.frontier_nodes;
+  Alcotest.(check int) "no changed POs" 0 s.Errest.Batch.changed_pos;
+  (* A trivial candidate is counted separately and touches no frontier. *)
+  let e' = Errest.Batch.candidate_error batch ~node:xn ~new_sig:(Bitvec.copy base.(xn)) in
+  check "trivial keeps base error" true (Float.equal e' (Errest.Batch.base_error batch));
+  Alcotest.(check int) "trivial counted" 1 (Errest.Batch.stats batch).Errest.Batch.trivial
+
+let test_kill_resume_bit_identity () =
+  (* The journaled-resume guarantee must survive the kernel swap: a killed
+     run resumed (at a different pool size) finishes with the same applied
+     count, the same final sampled error to the last bit, and an equivalent
+     circuit as the uninterrupted run. *)
+  let config =
+    { (Core.Config.default ~metric:Metrics.Er ~threshold:0.05) with
+      Core.Config.eval_rounds = 1024; max_iters = 12; seed = 11 }
+  in
+  let g () = Circuits.Epfl_control.cavlc () in
+  let a_full, r_full = Core.Flow.run ~config (g ()) in
+  let dir = Filename.temp_file "alsrac_errest_resume" "" ^ ".d" in
+  (match
+     Core.Flow.run ~journal:dir
+       ~config:
+         { config with Core.Config.fault = [ Core.Fault.Kill_after { applied = 2 } ] }
+       (g ())
+   with
+  | _ -> Alcotest.fail "expected the injected kill to fire"
+  | exception Core.Fault.Killed -> ());
+  let a_res, r_res = Core.Flow.resume ~jobs:2 dir in
+  Alcotest.(check int) "same applied count" r_full.Core.Flow.applied
+    r_res.Core.Flow.applied;
+  Alcotest.(check int) "same final AND count" (Graph.num_ands a_full)
+    (Graph.num_ands a_res);
+  check "bit-identical final error" true
+    (Float.equal r_full.Core.Flow.final_est_error r_res.Core.Flow.final_est_error);
+  check "identical PO behaviour" true (Util.equivalent a_full a_res)
+
 (* ---------- Certify ---------- *)
 
 let test_hoeffding_margin_shrinks () =
@@ -285,6 +475,17 @@ let () =
       ( "batch",
         [ Alcotest.test_case "base error" `Quick test_batch_base_error_zero ]
         @ Util.qcheck_cases [ prop_batch_equals_rebuild ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random circuits vs oracle" `Quick
+            test_differential_random_circuits;
+          Alcotest.test_case "jobs invariance" `Quick test_differential_jobs_invariance;
+          Alcotest.test_case "benchmark suite vs oracle" `Quick
+            test_differential_benchmark_suite;
+          Alcotest.test_case "early exit + counters" `Quick test_early_exit_counter;
+          Alcotest.test_case "kill and resume bit identity" `Slow
+            test_kill_resume_bit_identity;
+        ] );
       ( "certify",
         [
           Alcotest.test_case "margin shrinks" `Quick test_hoeffding_margin_shrinks;
