@@ -657,6 +657,151 @@ let scoring () =
     exit 1
   end
 
+(* ---------- Serve benchmark (DESIGN.md section 11) ----------
+
+   Warm (resident daemon) vs cold (one CLI process per query) latency for
+   the same question: the error of a session's current circuit against its
+   original.  The daemon keeps the parsed AIG, evaluation patterns and
+   golden output signatures resident, so a warm [metrics] request is one
+   socket round-trip plus a per-revision cache probe; the cold path pays
+   process startup, AIGER parsing and a fresh simulation on every query.
+
+   Writes BENCH_serve.json.  Smoke mode (ALSRAC_BENCH_SMOKE=1, used by CI)
+   shrinks the iteration counts; both modes exit non-zero when the warm P50
+   is not at least 5x better than the cold P50. *)
+
+let percentile xs p =
+  let n = Array.length xs in
+  let xs = Array.copy xs in
+  Array.sort compare xs;
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  xs.(max 0 (min (n - 1) rank))
+
+let serve_bench () =
+  Printf.printf "\n== Serve benchmark: warm resident daemon vs cold CLI ==\n%!";
+  let warm_iters = if smoke_mode then 20 else 100 in
+  let cold_iters = if smoke_mode then 3 else 10 in
+  let circuit = "cavlc" and threshold = 0.05 in
+  let g =
+    match Circuits.Suite.find circuit with
+    | Some e -> e.Circuits.Suite.build ()
+    | None -> failwith ("serve bench: unknown circuit " ^ circuit)
+  in
+  let bytes = Circuit_io.Aiger.graph_to_string g in
+  let dir = Filename.temp_file "alsrac_bench" "" ^ ".d" in
+  Unix.mkdir dir 0o755;
+  let socket =
+    (* [temp_file] reserves a short path (sockets are length-limited); the
+       placeholder is removed so the daemon can bind there. *)
+    let p = Filename.temp_file "als" ".sock" in
+    Sys.remove p;
+    p
+  in
+  let cfg =
+    { (Serve.Daemon.default ~socket ~state_dir:(Filename.concat dir "state")) with
+      Serve.Daemon.default_deadline_s = 300.0 }
+  in
+  let daemon = Thread.create Serve.Daemon.run cfg in
+  let conn = Serve.Client.connect ~path:socket () in
+  let finally () =
+    (try ignore (Serve.Client.shutdown conn) with _ -> ());
+    Thread.join daemon
+  in
+  Fun.protect ~finally @@ fun () ->
+  let expect what = function
+    | Serve.Protocol.Ok (kvs, blob) -> (kvs, blob)
+    | Serve.Protocol.Err { detail; _ } ->
+        failwith (Printf.sprintf "serve bench: %s failed: %s" what detail)
+  in
+  ignore (expect "load" (Serve.Client.load conn ~session:"bench" ~circuit:"-" ~graph:bytes ()));
+  let params =
+    { Serve.Protocol.metric = Metrics.Er; threshold; seed = 1;
+      eval_rounds = 1024; max_iters = 1000 }
+  in
+  ignore (expect "approx" (Serve.Client.approx conn ~session:"bench" ~params ()));
+  (* First metrics call fills the per-revision cache; steady-state warm
+     requests are what a resident client observes. *)
+  ignore (expect "metrics" (Serve.Client.metrics conn ~session:"bench" ~metric:Metrics.Er));
+  let warm =
+    Array.init warm_iters (fun _ ->
+        let t0 = wall () in
+        ignore
+          (expect "metrics" (Serve.Client.metrics conn ~session:"bench" ~metric:Metrics.Er));
+        wall () -. t0)
+  in
+  let current =
+    match expect "get" (Serve.Client.get conn ~session:"bench") with
+    | _, Some blob -> blob
+    | _, None -> failwith "serve bench: get returned no graph"
+  in
+  let write name data =
+    let p = Filename.concat dir name in
+    let oc = open_out_bin p in
+    output_string oc data;
+    close_out oc;
+    p
+  in
+  let orig_f = write "original.aag" bytes and cur_f = write "current.aag" current in
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/alsrac.exe"
+  in
+  let cold_kind, cold_once =
+    if Sys.file_exists exe then
+      ( "cli",
+        fun () ->
+          let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+          let pid =
+            Unix.create_process exe
+              [| exe; "eval"; orig_f; cur_f; "-m"; "er"; "--sample"; "1024" |]
+              Unix.stdin null null
+          in
+          let _, status = Unix.waitpid [] pid in
+          Unix.close null;
+          match status with
+          | Unix.WEXITED 0 -> ()
+          | _ -> failwith "serve bench: cold CLI eval failed" )
+    else
+      ( "in-process",
+        (* No CLI binary next to the bench (e.g. a partial build): fall back
+           to the same work in-process — parse both circuits and evaluate
+           from scratch.  This underestimates the cold cost (no process
+           startup), so the 5x gate is conservative. *)
+        fun () ->
+          let o = Circuit_io.Aiger.parse bytes
+          and a = Circuit_io.Aiger.parse current in
+          ignore (Metrics.evaluate ~sample:1024 Metrics.Er ~original:o ~approx:a) )
+  in
+  let cold =
+    Array.init cold_iters (fun _ ->
+        let t0 = wall () in
+        cold_once ();
+        wall () -. t0)
+  in
+  let ms xs q = 1000.0 *. percentile xs q in
+  let wp50 = ms warm 50.0 and wp95 = ms warm 95.0 in
+  let cp50 = ms cold 50.0 and cp95 = ms cold 95.0 in
+  let speedup = cp50 /. Float.max 1e-6 wp50 in
+  Printf.printf
+    "%-8s warm (%d reqs): P50 %7.3fms  P95 %7.3fms | cold-%s (%d runs): P50 \
+     %7.1fms  P95 %7.1fms | warm is %.0fx faster\n%!"
+    circuit warm_iters wp50 wp95 cold_kind cold_iters cp50 cp95 speedup;
+  let out = open_out "BENCH_serve.json" in
+  Printf.fprintf out
+    "{\"mode\": \"%s\", \"circuit\": \"%s\", \"threshold\": %g,\n\
+    \ \"warm_iters\": %d, \"warm_p50_ms\": %.3f, \"warm_p95_ms\": %.3f,\n\
+    \ \"cold_kind\": \"%s\", \"cold_iters\": %d, \"cold_p50_ms\": %.1f, \
+     \"cold_p95_ms\": %.1f,\n\
+    \ \"speedup_p50\": %.1f}\n"
+    (if smoke_mode then "smoke" else "full")
+    circuit threshold warm_iters wp50 wp95 cold_kind cold_iters cp50 cp95 speedup;
+  close_out out;
+  Printf.printf "wrote BENCH_serve.json\n%!";
+  if speedup < 5.0 then begin
+    Printf.eprintf
+      "serve bench: warm P50 is only %.1fx better than cold (need >= 5x)\n" speedup;
+    exit 1
+  end
+
 (* ---------- Ablation: ALSRAC design choices (DESIGN.md section 5) ---------- *)
 
 let ablations () =
@@ -703,6 +848,7 @@ let () =
   | "micro" -> micro ()
   | "pool" -> pool_bench ()
   | "scoring" -> scoring ()
+  | "serve" -> serve_bench ()
   | "ablations" -> ablations ()
   | "all" ->
       table3 ();
@@ -713,11 +859,12 @@ let () =
       ablations ();
       micro ();
       pool_bench ();
-      scoring ()
+      scoring ();
+      serve_bench ()
   | m ->
       Printf.eprintf
         "unknown mode %s \
-         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|all)\n"
+         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|serve|all)\n"
         m;
       exit 1);
   Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)

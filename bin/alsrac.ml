@@ -297,6 +297,144 @@ let map_cmd spec target output =
         Ok (Circuit_io.Verilog.write_mapped path m)
       else Error (`Msg "mapped output must be .blif or .v")
 
+(* ---------- serve / client ---------- *)
+
+let serve_cmd socket state_dir jobs max_queue max_resident_mb deadline
+    read_timeout max_sessions fault_spec log =
+  failure_to_msg @@ fun () ->
+  let fault = Core.Fault.plan_of_string fault_spec in
+  Serve.Daemon.run
+    {
+      Serve.Daemon.socket;
+      state_dir;
+      jobs;
+      max_queue;
+      max_resident_mb;
+      default_deadline_s = deadline;
+      read_timeout_s = read_timeout;
+      max_sessions;
+      fault;
+      log;
+    };
+  Ok ()
+
+(* Transport failures are operational errors (daemon down, timeout), not
+   bugs: surface them as CLI messages. *)
+let transport_to_msg f =
+  try f () with
+  | Serve.Transport.Closed -> Error (`Msg "connection closed by daemon")
+  | Serve.Transport.Timeout -> Error (`Msg "timed out waiting for the daemon")
+  | Serve.Transport.Malformed m -> Error (`Msg ("malformed reply: " ^ m))
+  | Unix.Unix_error (e, _, _) -> Error (`Msg (Unix.error_message e))
+
+let print_ok_kvs kvs = List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) kvs
+
+let response_to_result resp =
+  match resp with
+  | Serve.Protocol.Ok (kvs, _) ->
+      print_ok_kvs kvs;
+      Ok resp
+  | Serve.Protocol.Err { code; detail; retry_after_s } ->
+      Error
+        (`Msg
+           (Printf.sprintf "%s: %s%s"
+              (Serve.Protocol.code_to_string code)
+              detail
+              (match retry_after_s with
+              | Some r -> Printf.sprintf " (retry after %.1fs)" r
+              | None -> "")))
+
+let client_cmd socket verb session circuit metric threshold seed eval_rounds
+    max_iters deadline priority output =
+  let* metric = parse_metric metric in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "%s requires %s" verb what))
+  in
+  transport_to_msg @@ fun () ->
+  let conn = Serve.Client.connect ~path:socket () in
+  Fun.protect ~finally:(fun () -> Serve.Client.close conn) @@ fun () ->
+  match verb with
+  | "ping" ->
+      if Serve.Client.ping conn then begin
+        print_endline "pong";
+        Ok ()
+      end
+      else Error (`Msg "daemon did not answer the ping")
+  | "load" ->
+      let* s = need "SESSION" session in
+      let* c = need "CIRCUIT" circuit in
+      (* A file ships its AIGER bytes; anything else names a daemon-side
+         benchmark. *)
+      let* circuit, graph =
+        if Sys.file_exists c then
+          let* g = load c in
+          Ok ("-", Some (Circuit_io.Aiger.graph_to_string g))
+        else Ok (c, None)
+      in
+      let* _ =
+        response_to_result
+          (Serve.Client.load conn ~session:s ~circuit ?graph ~priority ())
+      in
+      Ok ()
+  | "approx" ->
+      let* s = need "SESSION" session in
+      let params =
+        {
+          Serve.Protocol.metric;
+          threshold;
+          seed;
+          eval_rounds;
+          max_iters;
+        }
+      in
+      let* _ =
+        response_to_result
+          (Serve.Client.request_retry conn
+             (Serve.Protocol.Approx
+                { session = s; params; deadline_s = deadline }))
+      in
+      Ok ()
+  | "metrics" ->
+      let* s = need "SESSION" session in
+      let* _ = response_to_result (Serve.Client.metrics conn ~session:s ~metric) in
+      Ok ()
+  | "cec" ->
+      let* s = need "SESSION" session in
+      let* _ = response_to_result (Serve.Client.cec conn ~session:s) in
+      Ok ()
+  | "get" ->
+      let* s = need "SESSION" session in
+      let* resp = response_to_result (Serve.Client.get conn ~session:s) in
+      let* bytes =
+        match resp with
+        | Serve.Protocol.Ok (_, Some bytes) -> Ok bytes
+        | _ -> Error (`Msg "daemon reply carried no circuit")
+      in
+      (match output with
+      | Some path ->
+          let* g = failure_to_msg (fun () -> Ok (Circuit_io.Aiger.parse bytes)) in
+          save path g
+      | None ->
+          print_string bytes;
+          Ok ())
+  | "status" ->
+      let* _ = response_to_result (Serve.Client.status conn) in
+      Ok ()
+  | "evict" ->
+      let* s = need "SESSION" session in
+      let* _ = response_to_result (Serve.Client.evict conn ~session:s) in
+      Ok ()
+  | "shutdown" ->
+      let* _ = response_to_result (Serve.Client.shutdown conn) in
+      Ok ()
+  | v ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown verb %s (ping|load|approx|metrics|cec|get|status|evict|shutdown)"
+              v))
+
 (* ---------- Cmdliner plumbing ---------- *)
 
 open Cmdliner
@@ -446,6 +584,92 @@ let map_term =
 
 let map_cmd' = Cmd.v (Cmd.info "map" ~doc:"Technology mapping (LUT or standard cells)") map_term
 
+let socket_arg =
+  Arg.(value & opt string "/tmp/alsrac.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_term =
+  Term.(
+    const
+      (fun socket state_dir jobs max_queue max_resident_mb deadline read_timeout
+           max_sessions fault_spec log ->
+        exits_of_result
+          (serve_cmd socket state_dir jobs max_queue max_resident_mb deadline
+             read_timeout max_sessions fault_spec log))
+    $ socket_arg
+    $ Arg.(value & opt string "/tmp/alsrac-state" & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Session persistence root; sessions found here are resumed \
+                   (including interrupted approximations) before the socket opens.")
+    $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Resident worker-pool size shared by all requests (0 detects \
+                   the core count).")
+    $ Arg.(value & opt int 32 & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Bound on queued requests; overflow is answered with an \
+                   overloaded error and a retry-after hint.")
+    $ Arg.(value & opt int 512 & info [ "max-resident-mb" ] ~docv:"MB"
+             ~doc:"Resident-memory high watermark; past it the coldest idle \
+                   sessions are evicted until usage drops to 3/4 of the bound.")
+    $ Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"S"
+             ~doc:"Default per-request deadline; a timed-out approximation is \
+                   rolled back to its last checkpoint and reported as a \
+                   structured timeout.")
+    $ Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"S"
+             ~doc:"Per-connection frame-read deadline.")
+    $ Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Bound on resident sessions.")
+    $ Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC"
+             ~doc:"Deterministic fault injection for resilience testing, e.g. \
+                   $(b,short-read\\@2,raise\\@3); see Core.Fault.")
+    $ Arg.(value & flag & info [ "log" ] ~doc:"Log daemon events to stderr."))
+
+let serve_cmd' =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident ALS daemon: named sessions keep circuits, fanout \
+             and simulation state warm across requests, with per-request \
+             deadlines, bounded-queue backpressure and crash-resumable \
+             journaled state")
+    serve_term
+
+let client_term =
+  Term.(
+    const
+      (fun socket verb session circuit metric threshold seed eval_rounds
+           max_iters deadline priority output ->
+        exits_of_result
+          (client_cmd socket verb session circuit metric threshold seed
+             eval_rounds max_iters deadline priority output))
+    $ socket_arg
+    $ Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
+             ~doc:"One of: ping, load, approx, metrics, cec, get, status, \
+                   evict, shutdown.")
+    $ Arg.(value & pos 1 (some string) None & info [] ~docv:"SESSION"
+             ~doc:"Session name (most verbs).")
+    $ Arg.(value & pos 2 (some string) None & info [] ~docv:"CIRCUIT"
+             ~doc:"For $(b,load): benchmark name, or a circuit file whose \
+                   contents are shipped to the daemon.")
+    $ metric_arg
+    $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
+             ~doc:"Error threshold for $(b,approx).")
+    $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for $(b,approx).")
+    $ Arg.(value & opt int 4096 & info [ "eval-rounds" ] ~docv:"N"
+             ~doc:"Evaluation sample size for $(b,approx).")
+    $ Arg.(value & opt int 1000 & info [ "max-iters" ] ~docv:"N"
+             ~doc:"Cap on accepted changes for $(b,approx).")
+    $ Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
+             ~doc:"Per-request deadline override for $(b,approx).")
+    $ Arg.(value & opt int 0 & info [ "priority" ] ~docv:"P"
+             ~doc:"Session priority for $(b,load): under overload, lower \
+                   priorities are shed first.")
+    $ output_opt)
+
+let client_cmd'' =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,alsrac serve) daemon (warm requests: the \
+             daemon keeps circuits and simulation state resident)")
+    client_term
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -459,4 +683,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ list_cmd'; gen_cmd'; stats_cmd'; opt_cmd'; eval_cmd'; approx_cmd'; map_cmd';
-            cec_cmd' ]))
+            cec_cmd'; serve_cmd'; client_cmd'' ]))

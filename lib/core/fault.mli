@@ -29,6 +29,16 @@ type kind =
   | Kill_after of { applied : int }
       (** Raise {!Killed} at the top of the first iteration with at least
           [applied] accepted LACs. *)
+  | Io_short_read of { nth : int }
+      (** The [nth] framed socket receive on a daemon connection stops
+          mid-payload, as if the peer stalled and the read timed out — the
+          decoder must treat the partial frame as malformed, not block. *)
+  | Io_eof_mid_frame of { nth : int }
+      (** The [nth] framed socket send truncates after the header and drops
+          the connection, modeling a peer dying mid-frame. *)
+  | Io_delay_write of { nth : int; ms : int }
+      (** The [nth] framed socket send sleeps [ms] milliseconds before
+          writing, modeling a slow client that must not wedge the daemon. *)
 
 type plan = kind list
 
@@ -42,6 +52,32 @@ val corrupt_lac : plan -> iteration:int -> bool
 val should_raise : plan -> iteration:int -> bool
 
 val should_kill : plan -> applied:int -> bool
+
+(** {1 Socket / IO fault hooks}
+
+    Consulted by the [lib/serve] transport with a per-connection operation
+    counter; [nth] counts framed receives (for reads) or sends (for writes)
+    on one connection, starting at 1. *)
+
+val io_short_read : plan -> nth:int -> bool
+val io_eof_mid_frame : plan -> nth:int -> bool
+
+val io_delay_write : plan -> nth:int -> int option
+(** Milliseconds to sleep before the [nth] send, if any. *)
+
+(** {1 Plan spec strings}
+
+    The [--fault-spec] grammar: comma-separated items, each
+    [name\@arg] or [name\@arg:arg] —
+    [flip-sigs\@ITER:BIT], [corrupt-lac\@ITER], [raise\@ITER],
+    [kill\@APPLIED], [short-read\@NTH], [eof-mid-frame\@NTH],
+    [delay-write\@NTH:MS].  The empty string is {!none}. *)
+
+val plan_of_string : string -> plan
+(** Raises [Failure] on an unparseable spec. *)
+
+val plan_to_string : plan -> string
+(** Inverse of {!plan_of_string}. *)
 
 (** {1 File corruption helpers}
 

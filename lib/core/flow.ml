@@ -11,6 +11,8 @@ type event = Journal.event = {
 
 type stop_reason = Budget_exhausted | Stalled | Max_iters | Emptied | Timed_out
 
+exception Cancelled
+
 type certify = {
   exact_checks : int;
   exact_confirmed : int;
@@ -76,14 +78,18 @@ let sig_hash v =
     (fun h w -> ((h * 1000003) lxor w) land max_int)
     (Bitvec.length v) (Bitvec.unsafe_words v)
 
-(* Exceptions the per-iteration recovery wrapper must never swallow. *)
+(* Exceptions the per-iteration recovery wrapper must never swallow.
+   Cancellation is in this set: a caller that asked the flow to stop must
+   get control back, not watch the loop retry with fresh patterns. *)
 let fatal = function
-  | Fault.Killed | Stack_overflow | Out_of_memory | Sys.Break -> true
+  | Fault.Killed | Cancelled | Parallel.Pool.Cancelled | Stack_overflow
+  | Out_of_memory | Sys.Break ->
+      true
   | _ -> false
 
 let max_recovered_exns = 50
 
-let run_loop ~(config : Config.t) ~pool ~journal ~original
+let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
     ~(init : Journal.state option) g_start =
   let t_start = Sys.time () in
   let w_start = Parallel.Clock.now_s () in
@@ -439,6 +445,11 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
     (not !finished) && !applied < config.max_iters
     && Parallel.Clock.now_s () -. w_start < config.max_seconds
   do
+    (* Cooperative cancellation checkpoint: once per iteration here, plus
+       every pool chunk boundary via the [should_stop] hook installed by
+       [run]/[resume].  The journal (if any) already holds the last accepted
+       state, so a cancelled run resumes or rolls back cleanly. *)
+    if cancel () then raise Cancelled;
     if Fault.should_kill config.fault ~applied:!applied then raise Fault.Killed;
     incr iteration;
     (* Containment: an iteration that blows up (an internal bug, or an
@@ -527,13 +538,38 @@ let run_loop ~(config : Config.t) ~pool ~journal ~original
          else None);
     } )
 
-let run ?journal ~(config : Config.t) g0 =
+let no_cancel () = false
+
+(* Execution policy shared by [run] and [resume]: use the caller's resident
+   pool when one is given (the serving layer keeps one pool warm across
+   requests), otherwise create and tear down a private one.  When a cancel
+   hook is active it is also installed as the pool's [should_stop] for the
+   duration of the run — chunk-grained cancellation inside simulation and
+   scoring — and restored afterwards, so an external pool comes back
+   unchanged.  [Pool.Cancelled] escaping a chunk is normalized to
+   {!Cancelled}: callers see one cancellation exception regardless of which
+   checkpoint fired first. *)
+let with_run_pool ?pool ~jobs ~cancel f =
+  let go pool =
+    if cancel == no_cancel then f pool
+    else
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.set_should_stop pool None)
+        (fun () ->
+          Parallel.Pool.set_should_stop pool (Some cancel);
+          try f pool with Parallel.Pool.Cancelled -> raise Cancelled)
+  in
+  match pool with
+  | Some p -> go p
+  | None -> Parallel.Pool.with_pool ~jobs go
+
+let run ?journal ?(cancel = no_cancel) ?pool ~(config : Config.t) g0 =
   let original = Graph.compact g0 in
   let j = Option.map (fun dir -> Journal.create ~dir ~config ~original) journal in
-  Parallel.Pool.with_pool ~jobs:config.jobs (fun pool ->
-      run_loop ~config ~pool ~journal:j ~original ~init:None original)
+  with_run_pool ?pool ~jobs:config.jobs ~cancel (fun pool ->
+      run_loop ~config ~pool ~cancel ~journal:j ~original ~init:None original)
 
-let resume ?(fault = Fault.none) ?jobs dir =
+let resume ?(fault = Fault.none) ?jobs ?(cancel = no_cancel) ?pool dir =
   let r = Journal.load dir in
   (match r.Journal.degraded with
   | Some msg -> Log.warn (fun m -> m "resume: %s" msg)
@@ -546,6 +582,6 @@ let resume ?(fault = Fault.none) ?jobs dir =
     match jobs with Some j -> { config with Config.jobs = j } | None -> config
   in
   let j = Journal.reopen dir in
-  Parallel.Pool.with_pool ~jobs:config.Config.jobs (fun pool ->
-      run_loop ~config ~pool ~journal:(Some j) ~original:r.Journal.original
+  with_run_pool ?pool ~jobs:config.Config.jobs ~cancel (fun pool ->
+      run_loop ~config ~pool ~cancel ~journal:(Some j) ~original:r.Journal.original
         ~init:r.Journal.state r.Journal.graph)

@@ -57,6 +57,14 @@ type certify = {
     function, and accepted LACs err as predicted.  Counters are per-process
     (not journaled): a resumed run reports the resumed portion only. *)
 
+exception Cancelled
+(** Raised by {!run}/{!resume} when the [?cancel] hook fires: at the next
+    iteration boundary, or at the next pool chunk boundary inside
+    simulation or candidate scoring, whichever comes first.  The loop state
+    is abandoned exactly as an abrupt kill would leave it — the journal (if
+    any) still holds the last accepted checkpoint, so a cancelled journaled
+    run can be resumed or rolled back like a killed one. *)
+
 type stop_reason =
   | Budget_exhausted  (** best candidate error exceeded the threshold *)
   | Stalled
@@ -98,15 +106,35 @@ type report = {
       (** verification verdicts; [None] unless [Config.certify_exact] *)
 }
 
-val run : ?journal:string -> config:Config.t -> Aig.Graph.t -> Aig.Graph.t * report
+val run :
+  ?journal:string ->
+  ?cancel:(unit -> bool) ->
+  ?pool:Parallel.Pool.t ->
+  config:Config.t ->
+  Aig.Graph.t ->
+  Aig.Graph.t * report
 (** Returns the approximate circuit (same PI/PO interface) and the run
     report.  The input graph is not modified.  [?journal] names a run
     directory to checkpoint into ({!Journal.create} — a fresh run, wiping
     any previous checkpoints there).  A worker pool of [config.jobs] lanes
     runs simulation, LAC generation and candidate scoring; every result is
-    bit-identical to [jobs = 1]. *)
+    bit-identical to [jobs = 1].
 
-val resume : ?fault:Fault.plan -> ?jobs:int -> string -> Aig.Graph.t * report
+    [?cancel] is a cooperative-cancellation hook, polled once per iteration
+    and at every pool chunk boundary; when it returns [true] the run raises
+    {!Cancelled} (see there for the state contract).  [?pool] runs the flow
+    on an existing resident pool instead of creating one — [config.jobs] is
+    then ignored and the pool is returned unchanged (its [should_stop] hook
+    is restored on exit).  Cancellation and pool choice are execution
+    policy: neither perturbs the result of a run that completes. *)
+
+val resume :
+  ?fault:Fault.plan ->
+  ?jobs:int ->
+  ?cancel:(unit -> bool) ->
+  ?pool:Parallel.Pool.t ->
+  string ->
+  Aig.Graph.t * report
 (** Resume an interrupted journaled run from its directory: the config is
     read back from the manifest, the loop state and graph from the newest
     readable checkpoint (falling back per {!Journal.load}), and the run
@@ -115,5 +143,6 @@ val resume : ?fault:Fault.plan -> ?jobs:int -> string -> Aig.Graph.t * report
     resumed portion (testing only; plans are never persisted).  [?jobs]
     overrides the manifest's pool size — the pool is execution policy, not
     run identity, so resuming at a different [jobs] still reproduces the
-    uninterrupted run bit-for-bit.  Raises [Failure] if the directory is not
-    a usable journal. *)
+    uninterrupted run bit-for-bit.  [?cancel] and [?pool] behave exactly as
+    in {!run}.  Raises [Failure] if the directory is not a usable
+    journal. *)

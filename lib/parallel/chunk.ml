@@ -36,10 +36,16 @@ let map_chunks ?pool ?chunk_size ~n f =
   in
   (match pool with
   | Some p when Pool.size p > 1 && k > 1 ->
+      (* The pool checks its cancellation hook before each chunk task. *)
       let futs = Array.init k (fun i -> Pool.async p (fun () -> exec i)) in
       Array.iter (fun fut -> Pool.await p fut) futs
-  | _ ->
+  | pool ->
+      (* Sequential fallback honours the same chunk-boundary cancellation
+         contract as the parallel path. *)
       for i = 0 to k - 1 do
+        (match pool with
+        | Some p when Pool.cancelled p -> raise Pool.Cancelled
+        | _ -> ());
         exec i
       done);
   Array.map

@@ -9,7 +9,13 @@
     candidate scoring safe to interleave with journaled checkpoint/resume.
 
     Without [?pool] (or with a 1-lane pool) the same chunks run sequentially
-    in index order on the caller. *)
+    in index order on the caller.
+
+    Cancellation: when the pool carries a {!Pool.set_should_stop} hook, it
+    is checked at every chunk boundary — on the parallel path by the pool
+    itself, on the sequential fallback by this module — and a fired hook
+    aborts the computation with {!Pool.Cancelled}.  Chunks already running
+    complete normally; no partial chunk result is ever observed. *)
 
 val default_max_chunks : int
 (** Default chunk-count ceiling (64): [chunk_size = ceil (n / 64)]. *)

@@ -84,6 +84,8 @@ module Deque = struct
     end
 end
 
+exception Cancelled
+
 type t = {
   id : int;
   jobs : int;
@@ -93,6 +95,11 @@ type t = {
   counters : counters array;
   mutable stop : bool;
   mutable domains : unit Domain.t array;
+  (* Cooperative cancellation: consulted immediately before each task body
+     runs (i.e. at chunk boundaries for {!Chunk} callers).  A [None] hook —
+     the default — costs one field read per task.  The field is a single
+     word, so the unsynchronized read in the task closure is tear-free. *)
+  mutable should_stop : (unit -> bool) option;
 }
 
 type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
@@ -175,6 +182,7 @@ let create ~jobs =
             { c_tasks = 0; c_steals = 0; c_busy = 0L; c_idle = 0L });
       stop = false;
       domains = [||];
+      should_stop = None;
     }
   in
   if jobs > 1 then
@@ -198,13 +206,25 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let set_should_stop t hook = t.should_stop <- hook
+
+let cancelled t =
+  match t.should_stop with
+  | None -> false
+  | Some f -> ( try f () with _ -> true)
+
 let async t f =
   let fut = { st = Pending } in
   let task () =
     (* Each task is fully contained: an exception becomes the future's
        value, never a worker death — the pool stays usable after a failed
-       task. *)
-    let r = try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
+       task.  A cancelled pool skips the body entirely: a task enqueued
+       before the caller abandoned the computation must not keep a worker
+       busy, it fails fast with [Cancelled] instead. *)
+    let r =
+      if cancelled t then Failed (Cancelled, Printexc.get_callstack 0)
+      else try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
     Mutex.lock t.mutex;
     fut.st <- r;
     Condition.broadcast t.cond;

@@ -22,6 +22,11 @@ type t
 
 type 'a future
 
+exception Cancelled
+(** Failure value of a task that was skipped because the pool's
+    {!set_should_stop} hook fired before the task body ran; re-raised by
+    {!await} on the skipped task's future. *)
+
 type stat = {
   worker : int;  (** lane index; 0 is the caller *)
   tasks : int;  (** tasks this lane executed *)
@@ -57,6 +62,29 @@ val await : t -> 'a future -> 'a
 
 val run : t -> (unit -> 'a) -> 'a
 (** [await t (async t f)]. *)
+
+(** {1 Cooperative cancellation}
+
+    Without a hook, a task enqueued on the pool always runs to completion,
+    even after its caller has abandoned the result.  Installing a
+    [should_stop] hook makes abandonment observable: the hook is consulted
+    immediately before every task body — for {!Chunk} computations that is
+    exactly the chunk boundaries — and once it returns [true], every
+    not-yet-started task fails with {!Cancelled} instead of executing.
+    Tasks already mid-body are never interrupted (cancellation is
+    cooperative, a wedged task is a bug in the task), so the pool is always
+    in a consistent state afterwards and stays fully usable: clear the hook
+    and submit new work. *)
+
+val set_should_stop : t -> (unit -> bool) option -> unit
+(** Install ([Some f]) or clear ([None]) the cancellation hook.  [f] must be
+    cheap and domain-safe: it is called concurrently from every lane.  An
+    exception escaping [f] counts as "stop". *)
+
+val cancelled : t -> bool
+(** Evaluate the current hook ([false] when none is installed).  Exposed so
+    sequential fallback paths ({!Chunk} without a multi-lane pool) can honour
+    the same chunk-boundary contract. *)
 
 val stats : t -> stat array
 (** Per-lane counters since creation (or the last {!reset_stats}). *)

@@ -1,0 +1,67 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable send_n : int;
+  mutable recv_n : int;
+}
+
+let connect ?(retries = 20) ?(retry_delay_s = 0.25) ~path () =
+  let rec go attempt =
+    match Transport.connect ~path with
+    | fd -> { fd; send_n = 0; recv_n = 0 }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+        Unix.sleepf retry_delay_s;
+        go (attempt + 1)
+    | exception Unix.Unix_error (e, _, _) ->
+        failwith
+          (Printf.sprintf "client: cannot connect to %s: %s" path
+             (Unix.error_message e))
+  in
+  go 0
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let request ?(timeout_s = 120.0) t req =
+  t.send_n <- t.send_n + 1;
+  Transport.send ~nth:t.send_n t.fd (Protocol.encode_request req);
+  t.recv_n <- t.recv_n + 1;
+  Protocol.decode_response (Transport.recv ~nth:t.recv_n ~timeout_s t.fd)
+
+let request_retry ?timeout_s ?(max_wait_s = 30.0) t req =
+  let rec go waited =
+    match request ?timeout_s t req with
+    | Protocol.Err { code = Protocol.Overloaded | Protocol.Shedding; retry_after_s; _ }
+      as resp ->
+        let pause = Option.value retry_after_s ~default:0.5 in
+        if waited +. pause > max_wait_s then resp
+        else begin
+          Unix.sleepf pause;
+          go (waited +. pause)
+        end
+    | resp -> resp
+  in
+  go 0.0
+
+let ping t =
+  match request ~timeout_s:5.0 t Protocol.Ping with
+  | Protocol.Ok _ -> true
+  | Protocol.Err _ -> false
+  | exception _ -> false
+
+let load t ~session ~circuit ?graph ?(priority = 0) () =
+  request t (Protocol.Load { session; circuit; graph; priority })
+
+let approx t ~session ~params ?deadline_s () =
+  request t (Protocol.Approx { session; params; deadline_s })
+
+let metrics t ~session ~metric = request t (Protocol.Metrics { session; metric })
+let cec t ~session = request t (Protocol.Cec { session })
+let get t ~session = request t (Protocol.Get { session })
+let status t = request t Protocol.Status
+let evict t ~session = request t (Protocol.Evict { session })
+let shutdown t = request t Protocol.Shutdown
+
+let ok_field resp key =
+  match resp with
+  | Protocol.Ok (kvs, _) -> List.assoc_opt key kvs
+  | Protocol.Err _ -> None

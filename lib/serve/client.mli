@@ -1,0 +1,61 @@
+(** Client side of the [alsrac serve] protocol: one synchronous
+    request/response connection, plus convenience wrappers per verb and a
+    backpressure-honoring retry helper. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay_s:float -> path:string -> unit -> t
+(** Connect to the daemon socket, retrying [retries] times (default 20)
+    every [retry_delay_s] (default 0.25s) — covers the race of a client
+    starting while the daemon is still resuming sessions.  Raises
+    [Failure] when the socket never appears. *)
+
+val close : t -> unit
+
+val request : ?timeout_s:float -> t -> Protocol.request -> Protocol.response
+(** Send one request and wait for its reply (default 120s).  Raises
+    {!Transport.Timeout} / {!Transport.Closed} / {!Transport.Malformed} on
+    transport failure, [Failure] on an undecodable reply. *)
+
+val request_retry :
+  ?timeout_s:float -> ?max_wait_s:float -> t -> Protocol.request -> Protocol.response
+(** Like {!request}, but sleeps out [Overloaded]/[Shedding] replies using
+    the daemon's retry-after hint, up to [max_wait_s] (default 30s) of
+    cumulative waiting; the last error is returned when the budget runs
+    out. *)
+
+(** {1 Convenience wrappers} *)
+
+val ping : t -> bool
+
+val load :
+  t ->
+  session:string ->
+  circuit:string ->
+  ?graph:string ->
+  ?priority:int ->
+  unit ->
+  Protocol.response
+
+val approx :
+  t ->
+  session:string ->
+  params:Protocol.approx_params ->
+  ?deadline_s:float ->
+  unit ->
+  Protocol.response
+
+val metrics :
+  t -> session:string -> metric:Errest.Metrics.kind -> Protocol.response
+
+val cec : t -> session:string -> Protocol.response
+
+val get : t -> session:string -> Protocol.response
+(** The graph blob of an [Ok] reply is the session's current AIGER text. *)
+
+val status : t -> Protocol.response
+val evict : t -> session:string -> Protocol.response
+val shutdown : t -> Protocol.response
+
+val ok_field : Protocol.response -> string -> string option
+(** Field lookup in an [Ok] reply; [None] on errors or missing keys. *)

@@ -1,0 +1,298 @@
+type approx_params = {
+  metric : Errest.Metrics.kind;
+  threshold : float;
+  seed : int;
+  eval_rounds : int;
+  max_iters : int;
+}
+
+type request =
+  | Ping
+  | Load of {
+      session : string;
+      circuit : string;
+      graph : string option;
+      priority : int;
+    }
+  | Approx of {
+      session : string;
+      params : approx_params;
+      deadline_s : float option;
+    }
+  | Metrics of { session : string; metric : Errest.Metrics.kind }
+  | Cec of { session : string }
+  | Get of { session : string }
+  | Status
+  | Evict of { session : string }
+  | Shutdown
+
+type error_code =
+  | Timeout
+  | Overloaded
+  | Shedding
+  | No_session
+  | Bad_request
+  | Busy
+  | Internal
+
+type response =
+  | Ok of (string * string) list * string option
+  | Err of { code : error_code; detail : string; retry_after_s : float option }
+
+let code_to_string = function
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Shedding -> "shedding"
+  | No_session -> "no-session"
+  | Bad_request -> "bad-request"
+  | Busy -> "busy"
+  | Internal -> "internal"
+
+let code_of_string = function
+  | "timeout" -> Some Timeout
+  | "overloaded" -> Some Overloaded
+  | "shedding" -> Some Shedding
+  | "no-session" -> Some No_session
+  | "bad-request" -> Some Bad_request
+  | "busy" -> Some Busy
+  | "internal" -> Some Internal
+  | _ -> None
+
+let valid_session_name s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && s.[0] <> '.'
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+(* Hex-float serialization so decode(encode f) = f bit-for-bit, matching the
+   journal's convention. *)
+let float_to_string f =
+  if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else Printf.sprintf "%h" f
+
+let float_of_string_exn key s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "protocol: bad float for %s: %S" key s)
+
+let int_of_string_exn key s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "protocol: bad int for %s: %S" key s)
+
+(* ---------- Encoding ---------- *)
+
+let add_kv b k v =
+  Buffer.add_string b k;
+  Buffer.add_char b ' ';
+  Buffer.add_string b v;
+  Buffer.add_char b '\n'
+
+let add_graph b bytes =
+  Buffer.add_string b
+    (Printf.sprintf "graph %d %d\n" (String.length bytes)
+       (Transport.checksum bytes));
+  Buffer.add_string b bytes;
+  Buffer.add_char b '\n'
+
+let encode_request req =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "alsrac-req 1\n";
+  (match req with
+  | Ping -> add_kv b "verb" "ping"
+  | Load { session; circuit; graph; priority } ->
+      add_kv b "verb" "load";
+      add_kv b "session" session;
+      add_kv b "circuit" circuit;
+      add_kv b "priority" (string_of_int priority);
+      Option.iter (add_graph b) graph
+  | Approx { session; params; deadline_s } ->
+      add_kv b "verb" "approx";
+      add_kv b "session" session;
+      add_kv b "metric" (Errest.Metrics.kind_to_string params.metric);
+      add_kv b "threshold" (float_to_string params.threshold);
+      add_kv b "seed" (string_of_int params.seed);
+      add_kv b "eval-rounds" (string_of_int params.eval_rounds);
+      add_kv b "max-iters" (string_of_int params.max_iters);
+      Option.iter (fun d -> add_kv b "deadline" (float_to_string d)) deadline_s
+  | Metrics { session; metric } ->
+      add_kv b "verb" "metrics";
+      add_kv b "session" session;
+      add_kv b "metric" (Errest.Metrics.kind_to_string metric)
+  | Cec { session } ->
+      add_kv b "verb" "cec";
+      add_kv b "session" session
+  | Get { session } ->
+      add_kv b "verb" "get";
+      add_kv b "session" session
+  | Status -> add_kv b "verb" "status"
+  | Evict { session } ->
+      add_kv b "verb" "evict";
+      add_kv b "session" session
+  | Shutdown -> add_kv b "verb" "shutdown");
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let encode_response resp =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "alsrac-resp 1\n";
+  (match resp with
+  | Ok (kvs, graph) ->
+      add_kv b "status" "ok";
+      List.iter (fun (k, v) -> add_kv b k v) kvs;
+      Option.iter (add_graph b) graph
+  | Err { code; detail; retry_after_s } ->
+      add_kv b "status" "err";
+      add_kv b "code" (code_to_string code);
+      add_kv b "detail" (String.escaped detail);
+      Option.iter
+        (fun r -> add_kv b "retry-after" (float_to_string r))
+        retry_after_s);
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+(* ---------- Decoding ---------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let next_line c =
+  if c.pos >= String.length c.s then failwith "protocol: truncated payload";
+  match String.index_from_opt c.s c.pos '\n' with
+  | None ->
+      let l = String.sub c.s c.pos (String.length c.s - c.pos) in
+      c.pos <- String.length c.s;
+      l
+  | Some i ->
+      let l = String.sub c.s c.pos (i - c.pos) in
+      c.pos <- i + 1;
+      l
+
+let read_blob c n ck =
+  if n < 0 || n > String.length c.s - c.pos then
+    failwith "protocol: graph length out of bounds";
+  let bytes = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  if c.pos < String.length c.s && c.s.[c.pos] = '\n' then c.pos <- c.pos + 1;
+  if Transport.checksum bytes <> ck then
+    failwith "protocol: graph checksum mismatch";
+  bytes
+
+(* Parse the body shared by requests and responses: kv lines plus at most
+   one graph section, terminated by "end". *)
+let parse_body c =
+  let kvs = ref [] and graph = ref None and fini = ref false in
+  while not !fini do
+    let line = next_line c in
+    if line = "end" then fini := true
+    else
+      match String.index_opt line ' ' with
+      | None -> failwith (Printf.sprintf "protocol: bad line %S" line)
+      | Some i -> (
+          let key = String.sub line 0 i in
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          match key with
+          | "graph" -> (
+              if !graph <> None then failwith "protocol: duplicate graph";
+              match String.split_on_char ' ' value with
+              | [ n; ck ] ->
+                  graph :=
+                    Some
+                      (read_blob c
+                         (int_of_string_exn "graph-len" n)
+                         (int_of_string_exn "graph-ck" ck))
+              | _ -> failwith "protocol: bad graph header")
+          | _ -> kvs := (key, value) :: !kvs)
+  done;
+  (List.rev !kvs, !graph)
+
+let find kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "protocol: missing key %s" key)
+
+let find_opt kvs key = List.assoc_opt key kvs
+
+let session_of kvs =
+  let s = find kvs "session" in
+  if not (valid_session_name s) then
+    failwith (Printf.sprintf "protocol: invalid session name %S" s);
+  s
+
+let metric_of kvs =
+  let m = find kvs "metric" in
+  match Errest.Metrics.kind_of_string m with
+  | Some k -> k
+  | None -> failwith (Printf.sprintf "protocol: unknown metric %S" m)
+
+let decode_request payload =
+  let c = { s = payload; pos = 0 } in
+  (match next_line c with
+  | "alsrac-req 1" -> ()
+  | l -> failwith (Printf.sprintf "protocol: bad request header %S" l));
+  let kvs, graph = parse_body c in
+  match find kvs "verb" with
+  | "ping" -> Ping
+  | "load" ->
+      Load
+        {
+          session = session_of kvs;
+          circuit = find kvs "circuit";
+          graph;
+          priority = int_of_string_exn "priority" (find kvs "priority");
+        }
+  | "approx" ->
+      Approx
+        {
+          session = session_of kvs;
+          params =
+            {
+              metric = metric_of kvs;
+              threshold = float_of_string_exn "threshold" (find kvs "threshold");
+              seed = int_of_string_exn "seed" (find kvs "seed");
+              eval_rounds =
+                int_of_string_exn "eval-rounds" (find kvs "eval-rounds");
+              max_iters = int_of_string_exn "max-iters" (find kvs "max-iters");
+            };
+          deadline_s =
+            Option.map (float_of_string_exn "deadline")
+              (find_opt kvs "deadline");
+        }
+  | "metrics" -> Metrics { session = session_of kvs; metric = metric_of kvs }
+  | "cec" -> Cec { session = session_of kvs }
+  | "get" -> Get { session = session_of kvs }
+  | "status" -> Status
+  | "evict" -> Evict { session = session_of kvs }
+  | "shutdown" -> Shutdown
+  | v -> failwith (Printf.sprintf "protocol: unknown verb %S" v)
+
+let decode_response payload =
+  let c = { s = payload; pos = 0 } in
+  (match next_line c with
+  | "alsrac-resp 1" -> ()
+  | l -> failwith (Printf.sprintf "protocol: bad response header %S" l));
+  let kvs, graph = parse_body c in
+  match find kvs "status" with
+  | "ok" ->
+      let kvs = List.filter (fun (k, _) -> k <> "status") kvs in
+      Ok (kvs, graph)
+  | "err" ->
+      let code =
+        match code_of_string (find kvs "code") with
+        | Some c -> c
+        | None -> failwith "protocol: unknown error code"
+      in
+      Err
+        {
+          code;
+          detail = Scanf.unescaped (find kvs "detail");
+          retry_after_s =
+            Option.map
+              (float_of_string_exn "retry-after")
+              (find_opt kvs "retry-after");
+        }
+  | s -> failwith (Printf.sprintf "protocol: bad status %S" s)

@@ -1,0 +1,237 @@
+type t = {
+  name : string;
+  dir : string;
+  circuit : string;
+  original : Aig.Graph.t;
+  fanout : Aig.Fanout.t;
+  eval_pats : Logic.Bitvec.t array;
+  golden : Logic.Bitvec.t array;
+  mutable current : Aig.Graph.t;
+  mutable revision : int;
+  mutable priority : int;
+  mutable last_used : float;
+  mutable budget_s : float;
+  mutable applied_total : int;
+  mutable busy : bool;
+  mutable metric_cache : (Errest.Metrics.kind * int * float) list;
+}
+
+let eval_rounds = 4096
+let eval_seed = 7
+
+let ( // ) = Filename.concat
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (path // e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Evaluation sample: exhaustive when that is at most [eval_rounds]
+   patterns, Monte-Carlo otherwise — the resident analogue of
+   [Errest.Metrics.evaluate]. *)
+let make_eval_pats g =
+  let npis = Aig.Graph.num_pis g in
+  if npis <= Sim.Patterns.exhaustive_limit && 1 lsl npis <= eval_rounds then
+    Sim.Patterns.exhaustive ~npis
+  else Sim.Patterns.random (Logic.Rng.create eval_seed) ~npis ~len:eval_rounds
+
+let manifest_path dir = dir // "manifest"
+let original_path dir = dir // "original.aag"
+let current_path dir = dir // "current.aag"
+let inflight_path dir = dir // "inflight"
+let journal_dir t = t.dir // "journal"
+
+let float_to_string f =
+  if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else Printf.sprintf "%h" f
+
+let save_manifest t =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "alsrac-session 1\n";
+  Printf.bprintf b "circuit %s\n" t.circuit;
+  Printf.bprintf b "priority %d\n" t.priority;
+  Printf.bprintf b "applied %d\n" t.applied_total;
+  Printf.bprintf b "budget %s\n" (float_to_string t.budget_s);
+  Circuit_io.Atomic_file.write (manifest_path t.dir) (Buffer.contents b)
+
+let warm ~name ~dir ~circuit ~original ~current ~priority ~budget_s
+    ~applied_total =
+  let eval_pats = make_eval_pats original in
+  {
+    name;
+    dir;
+    circuit;
+    original;
+    fanout = Aig.Fanout.build original;
+    eval_pats;
+    golden = Sim.Engine.simulate_pos original eval_pats;
+    current;
+    revision = 0;
+    priority;
+    last_used = Unix.gettimeofday ();
+    budget_s;
+    applied_total;
+    busy = false;
+    metric_cache = [];
+  }
+
+let create ~state_dir ~name ~circuit ~graph ~priority =
+  let dir = state_dir // name in
+  rm_rf dir;
+  mkdir_p dir;
+  Circuit_io.Atomic_file.write (original_path dir)
+    (Circuit_io.Aiger.graph_to_string graph);
+  let t =
+    warm ~name ~dir ~circuit ~original:graph ~current:graph ~priority
+      ~budget_s:0.0 ~applied_total:0
+  in
+  save_manifest t;
+  t
+
+let parse_manifest path =
+  let contents = Circuit_io.Atomic_file.read path in
+  let circuit = ref "-" and priority = ref 0 in
+  let applied = ref 0 and budget = ref 0.0 in
+  let lines = String.split_on_char '\n' contents in
+  (match lines with
+  | "alsrac-session 1" :: _ -> ()
+  | _ -> failwith (Printf.sprintf "session: bad manifest %s" path));
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then
+        match String.index_opt line ' ' with
+        | None -> failwith (Printf.sprintf "session: bad manifest line %S" line)
+        | Some j -> (
+            let key = String.sub line 0 j in
+            let v = String.sub line (j + 1) (String.length line - j - 1) in
+            match key with
+            | "circuit" -> circuit := v
+            | "priority" -> priority := int_of_string v
+            | "applied" -> applied := int_of_string v
+            | "budget" -> budget := float_of_string v
+            | _ -> failwith (Printf.sprintf "session: unknown manifest key %s" key)))
+    lines;
+  (!circuit, !priority, !applied, !budget)
+
+let load_dir ~state_dir ~name =
+  let dir = state_dir // name in
+  let circuit, priority, applied_total, budget_s =
+    try parse_manifest (manifest_path dir)
+    with Sys_error _ | Failure _ ->
+      failwith (Printf.sprintf "session: %s is not a usable session" dir)
+  in
+  let original =
+    try Circuit_io.Aiger.read (original_path dir)
+    with _ -> failwith (Printf.sprintf "session: %s: unreadable original" dir)
+  in
+  let current =
+    if Sys.file_exists (current_path dir) then
+      try Circuit_io.Aiger.read (current_path dir) with _ -> original
+    else original
+  in
+  warm ~name ~dir ~circuit ~original ~current ~priority ~budget_s
+    ~applied_total
+
+let scan ~state_dir =
+  if not (Sys.file_exists state_dir) then []
+  else
+    Sys.readdir state_dir |> Array.to_list
+    |> List.filter (fun name ->
+           Protocol.valid_session_name name
+           && Sys.file_exists (manifest_path (state_dir // name)))
+    |> List.sort compare
+
+let set_current t g =
+  t.current <- g;
+  t.revision <- t.revision + 1;
+  t.metric_cache <- [];
+  Circuit_io.Atomic_file.write (current_path t.dir)
+    (Circuit_io.Aiger.graph_to_string g);
+  save_manifest t
+
+let rollback_to_snapshot t =
+  let snapshot =
+    match Core.Journal.load (journal_dir t) with
+    | resume -> resume.Core.Journal.graph
+    | exception Failure _ -> t.original
+  in
+  set_current t snapshot
+
+let record_inflight t req =
+  Circuit_io.Atomic_file.write (inflight_path t.dir)
+    (Protocol.encode_request req)
+
+let clear_inflight t =
+  try Unix.unlink (inflight_path t.dir)
+  with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let inflight t =
+  let path = inflight_path t.dir in
+  if not (Sys.file_exists path) then None
+  else
+    match Protocol.decode_request (Circuit_io.Atomic_file.read path) with
+    | req -> Some req
+    | exception Failure _ ->
+        (* A corrupt marker is quarantined, not retried: replaying garbage
+           would wedge startup forever. *)
+        (try Unix.rename path (path ^ ".bad") with _ -> ());
+        None
+
+let metric t kind =
+  match
+    List.find_opt (fun (k, r, _) -> k = kind && r = t.revision) t.metric_cache
+  with
+  | Some (_, _, v) -> v
+  | None ->
+      let approx = Sim.Engine.simulate_pos t.current t.eval_pats in
+      let v = Errest.Metrics.measure kind ~golden:t.golden ~approx in
+      t.metric_cache <- (kind, t.revision, v) :: t.metric_cache;
+      v
+
+let touch t = t.last_used <- Unix.gettimeofday ()
+
+let resident_bytes t =
+  let graph g = 24 * Aig.Graph.num_nodes g in
+  let csr =
+    8
+    * (Array.length (Aig.Fanout.offsets t.fanout)
+      + Array.length (Aig.Fanout.targets t.fanout)
+      + Array.length (Aig.Fanout.po_offsets t.fanout)
+      + Array.length (Aig.Fanout.po_targets t.fanout))
+  in
+  let sigs =
+    let rounds = ref 0 in
+    if Array.length t.eval_pats > 0 then
+      rounds := Logic.Bitvec.length t.eval_pats.(0);
+    8 * ((!rounds / 62) + 1) * (Array.length t.eval_pats + Array.length t.golden)
+  in
+  graph t.original + graph t.current + csr + sigs
+
+let info t =
+  [
+    ("circuit", t.circuit);
+    ("input-ands", string_of_int (Aig.Graph.num_ands t.original));
+    ("current-ands", string_of_int (Aig.Graph.num_ands t.current));
+    ("revision", string_of_int t.revision);
+    ("applied", string_of_int t.applied_total);
+    ("priority", string_of_int t.priority);
+    ("budget-s", Printf.sprintf "%.3f" t.budget_s);
+    ("resident-bytes", string_of_int (resident_bytes t));
+    ("busy", string_of_bool t.busy);
+  ]
+
+let destroy t = rm_rf t.dir

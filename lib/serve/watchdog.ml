@@ -1,0 +1,23 @@
+type candidate = { name : string; last_used : float; busy : bool; bytes : int }
+
+let plan_evictions ~candidates ~resident_bytes ~high_watermark ~low_watermark =
+  if resident_bytes <= high_watermark then []
+  else begin
+    let idle =
+      List.filter (fun c -> not c.busy) candidates
+      |> List.sort (fun a b -> compare a.last_used b.last_used)
+    in
+    let remaining = ref resident_bytes and plan = ref [] in
+    List.iter
+      (fun c ->
+        if !remaining > low_watermark then begin
+          remaining := !remaining - c.bytes;
+          plan := c.name :: !plan
+        end)
+      idle;
+    List.rev !plan
+  end
+
+let retry_after ~queue_depth ~mean_service_s =
+  let hint = float_of_int (max 1 queue_depth) *. Float.max 0.05 mean_service_s in
+  Float.min 30.0 (Float.max 0.1 hint)

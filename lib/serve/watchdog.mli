@@ -1,0 +1,29 @@
+(** Degradation policy: pure decision functions, so the watermark logic is
+    unit-testable without sockets or threads.
+
+    The daemon tracks the summed {!Session.resident_bytes} of its sessions.
+    Above the high watermark it evicts coldest-first until back under the
+    low watermark (hysteresis, so one borderline load does not thrash);
+    busy sessions are never evicted.  Queue pressure turns into a
+    retry-after hint scaled by observed service time. *)
+
+type candidate = {
+  name : string;
+  last_used : float;
+  busy : bool;  (** running or queued work; never evicted *)
+  bytes : int;
+}
+
+val plan_evictions :
+  candidates:candidate list ->
+  resident_bytes:int ->
+  high_watermark:int ->
+  low_watermark:int ->
+  string list
+(** Names to evict, coldest first — empty unless [resident_bytes >
+    high_watermark]; stops as soon as the projected residency drops to
+    [low_watermark] or below, or when only busy sessions remain. *)
+
+val retry_after : queue_depth:int -> mean_service_s:float -> float
+(** Backpressure hint in seconds: roughly the time for the queue to drain
+    one slot, clamped to [0.1 .. 30]. *)

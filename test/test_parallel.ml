@@ -43,6 +43,54 @@ let test_pool_sequential_eager () =
       check "eager at jobs=1" true !hit;
       Pool.await p f)
 
+let test_pool_cancellation () =
+  Pool.with_pool ~jobs:test_jobs (fun p ->
+      (* Once the hook fires, queued-but-unstarted tasks fail with
+         [Cancelled] instead of running. *)
+      let stop = Atomic.make false in
+      Pool.set_should_stop p (Some (fun () -> Atomic.get stop));
+      let ran = Atomic.make 0 in
+      Atomic.set stop true;
+      let fs = List.init 50 (fun _ -> Pool.async p (fun () -> Atomic.incr ran)) in
+      let cancelled_count =
+        List.fold_left
+          (fun acc f ->
+            match Pool.await p f with
+            | () -> acc
+            | exception Pool.Cancelled -> acc + 1)
+          0 fs
+      in
+      check_int "every queued task cancelled" 50 cancelled_count;
+      check_int "no task body ran" 0 (Atomic.get ran);
+      (* Clearing the hook restores normal service: the pool is reusable. *)
+      Pool.set_should_stop p None;
+      check_int "pool usable after cancellation" 42 (Pool.run p (fun () -> 42)))
+
+let test_chunk_cancellation () =
+  (* Chunk computations abort at a chunk boundary on both the parallel path
+     and the sequential fallback. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let done_chunks = Atomic.make 0 in
+          let stop = Atomic.make false in
+          Pool.set_should_stop p (Some (fun () -> Atomic.get stop));
+          (match
+             Chunk.map ~pool:p ~chunk_size:1 ~n:64 (fun i ->
+                 if Atomic.get stop then ()
+                 else if i >= 4 then Atomic.set stop true
+                 else ();
+                 Atomic.incr done_chunks)
+           with
+          | _ -> Alcotest.failf "jobs=%d: expected Cancelled" jobs
+          | exception Pool.Cancelled -> ());
+          check "some chunks ran before the stop" true (Atomic.get done_chunks > 0);
+          check "not every chunk ran" true (Atomic.get done_chunks < 64);
+          Pool.set_should_stop p None;
+          let full = Chunk.map ~pool:p ~n:8 (fun i -> i) in
+          check_int "chunk path usable after cancellation" 8 (Array.length full)))
+    [ 1; test_jobs ]
+
 let test_pool_nested_submit () =
   Pool.with_pool ~jobs:test_jobs (fun p ->
       (* Tasks submit and await sub-tasks on the same pool: [await] must
@@ -267,6 +315,8 @@ let () =
           tc "nested submit/await" `Quick test_pool_nested_submit;
           tc "exception propagation + reuse" `Quick test_pool_exception_propagation;
           tc "execution counters" `Quick test_pool_stats;
+          tc "cooperative cancellation" `Quick test_pool_cancellation;
+          tc "chunk-boundary cancellation" `Quick test_chunk_cancellation;
         ] );
       ( "chunk",
         [
