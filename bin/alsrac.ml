@@ -104,9 +104,15 @@ let eval_cmd original approx metric sample =
 
 (* ---------- approx ---------- *)
 
+let parse_policy p =
+  match Explore.Policy.kind_of_string p with
+  | Some k -> Ok k
+  | None -> Error (`Msg (Printf.sprintf "unknown policy %s (greedy|bandit)" p))
+
 let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
-    resume guard certify jobs =
+    resume guard certify jobs policy =
   let* metric = parse_metric metric in
+  let* policy = parse_policy policy in
   let* g = load spec in
   let original = Aig.Graph.compact g in
   let t0 = Sys.time () in
@@ -125,6 +131,11 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
       Error (`Msg "--certify-exact is only supported with --method alsrac")
     else Ok ()
   in
+  let* () =
+    if policy <> Explore.Policy.Greedy && method_ <> "alsrac" then
+      Error (`Msg "--policy is only supported with --method alsrac")
+    else Ok ()
+  in
   let* approx =
     match method_ with
     | "alsrac" ->
@@ -134,7 +145,8 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             eval_rounds;
             guard;
             certify_exact = certify;
-            jobs = Option.value jobs ~default:1 }
+            jobs = Option.value jobs ~default:1;
+            policy = Explore.Policy.make policy }
         in
         let* a, r =
           failure_to_msg @@ fun () ->
@@ -145,8 +157,10 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
                    threshold, seed and the rest come from the original run.
                    [--jobs] is the exception — the pool size is execution
                    policy and results are jobs-invariant, so a resume may
-                   use any pool size. *)
-                Core.Flow.resume ?jobs dir
+                   use any pool size.  A fresh bandit hook is always on
+                   offer; the journal binds it only when the manifest names
+                   the bandit, and restores its checkpointed state. *)
+                Core.Flow.resume ?jobs ~policy:(Explore.Policy.hook ()) dir
             | None -> Core.Flow.run ?journal ~config g)
         in
         Printf.printf "alsrac: %d LACs applied%s, sampled %s = %.5f%%\n"
@@ -186,6 +200,21 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
              s.Errest.Batch.scored s.Errest.Batch.trivial s.Errest.Batch.early_exits
              s.Errest.Batch.frontier_nodes s.Errest.Batch.changed_pos
              s.Errest.Batch.changed_words);
+        (match r.Core.Flow.policy with
+        | Some p ->
+            let active =
+              Array.to_list p.Core.Flow.arm_stats
+              |> List.filter (fun (a : Core.Flow.arm_stat) -> a.Core.Flow.accepted > 0)
+            in
+            Printf.printf "policy %s: accepted per arm %s\n" p.Core.Flow.policy_name
+              (if active = [] then "(none)"
+               else
+                 String.concat ", "
+                   (List.map
+                      (fun (a : Core.Flow.arm_stat) ->
+                        Printf.sprintf "%d:%d" a.Core.Flow.arm a.Core.Flow.accepted)
+                      active))
+        | None -> ());
         if Array.length r.Core.Flow.pool > 1 then begin
           Printf.printf "parallel: %s (wall %.1fs, cpu %.1fs)\n"
             (Errest.Observability.pool_summary r.Core.Flow.pool)
@@ -296,6 +325,54 @@ let map_cmd spec target output =
       else if Filename.check_suffix path ".v" then
         Ok (Circuit_io.Verilog.write_mapped path m)
       else Error (`Msg "mapped output must be .blif or .v")
+
+(* ---------- explore ---------- *)
+
+let explore_cmd dir benchmarks ladder policy seed eval_rounds max_iters shards shard_id
+    jobs quiet =
+  let* ladders =
+    match Explore.Ladder.parse ladder with Ok l -> Ok l | Error e -> Error (`Msg e)
+  in
+  let* policy = parse_policy policy in
+  let spec =
+    {
+      Explore.Sweep.dir;
+      benchmarks =
+        String.split_on_char ',' benchmarks
+        |> List.map String.trim
+        |> List.filter (fun b -> b <> "");
+      ladders;
+      policy;
+      seed;
+      eval_rounds;
+      max_iters;
+      shards;
+      shard_id;
+      jobs;
+    }
+  in
+  let log = if quiet then fun _ -> () else print_endline in
+  match Explore.Sweep.run ~log spec with
+  | Error e -> Error (`Msg e)
+  | Ok p ->
+      let m = p.Explore.Sweep.manifest in
+      Printf.printf
+        "explore: %d/%d points complete (%d ran here, %d found done; shard %d/%d owns \
+         %d)\n"
+        (p.Explore.Sweep.already_done + p.Explore.Sweep.ran)
+        p.Explore.Sweep.total p.Explore.Sweep.ran p.Explore.Sweep.already_done shard_id
+        shards p.Explore.Sweep.owned;
+      List.iter
+        (fun (l : Explore.Ladder.t) ->
+          List.iter
+            (fun bench ->
+              Printf.printf "front: %s\n"
+                (Explore.Store.front_path dir ~bench ~metric:l.Explore.Ladder.metric))
+            m.Explore.Store.benchmarks;
+          Printf.printf "front: %s\n"
+            (Explore.Store.corpus_front_path dir ~metric:l.Explore.Ladder.metric))
+        m.Explore.Store.ladders;
+      Ok ()
 
 (* ---------- serve / client ---------- *)
 
@@ -506,14 +583,22 @@ let eval_term =
 let eval_cmd' =
   Cmd.v (Cmd.info "eval" ~doc:"Measure the error between two circuits") eval_term
 
+let policy_arg =
+  Arg.(value & opt string "greedy" & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Candidate-selection policy: greedy (smallest error first, the \
+               paper's order) or bandit (UCB1 over transform-family x \
+               node-depth arms, learning which candidate kinds pay off).  \
+               Deterministic either way; the bandit's state is journaled, so \
+               killed runs resume to the identical result.")
+
 let approx_term =
   Term.(
     const
       (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
-           guard certify jobs ->
+           guard certify jobs policy ->
         exits_of_result
           (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
-             journal resume guard certify jobs))
+             journal resume guard certify jobs policy))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -546,7 +631,8 @@ let approx_term =
                    (default) is fully sequential, 0 detects the core count, \
                    N > 1 spawns N-1 worker domains.  Results are bit-identical \
                    at every setting, so $(docv) may also differ between a \
-                   journaled run and its $(b,--resume)."))
+                   journaled run and its $(b,--resume).")
+    $ policy_arg)
 
 let approx_cmd' =
   Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")
@@ -583,6 +669,58 @@ let map_term =
     $ circuit_arg $ mapping_arg $ output_opt)
 
 let map_cmd' = Cmd.v (Cmd.info "map" ~doc:"Technology mapping (LUT or standard cells)") map_term
+
+let explore_term =
+  Term.(
+    const
+      (fun dir benchmarks ladder policy seed eval_rounds max_iters shards shard_id jobs
+           quiet ->
+        exits_of_result
+          (explore_cmd dir benchmarks ladder policy seed eval_rounds max_iters shards
+             shard_id jobs quiet))
+    $ Arg.(required & opt (some string) None & info [ "d"; "dir" ] ~docv:"DIR"
+             ~doc:"Sweep directory: manifest, per-point results and Pareto front \
+                   files live here.  Restarting onto an existing directory \
+                   resumes it (the stored manifest supersedes the command \
+                   line); completed points are never re-run.")
+    $ Arg.(value & opt string "c880,cavlc,ctrl,int2float" & info [ "benchmarks" ]
+             ~docv:"NAMES"
+             ~doc:"Comma-separated benchmark names (see $(b,alsrac list)).")
+    $ Arg.(value & opt string "default" & info [ "ladder" ] ~docv:"SPEC"
+             ~doc:"Error-budget ladders: semicolon-separated metric=b1,b2,... \
+                   groups, e.g. $(b,er=0.01,0.03;nmed=0.001), or $(b,default) \
+                   for the paper-shaped ER/NMED/MRED sweep.")
+    $ policy_arg
+    $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+             ~doc:"Base PRNG seed; point $(i,i) runs the flow with seed S+i.")
+    $ Arg.(value & opt int 4096 & info [ "eval-rounds" ] ~docv:"N"
+             ~doc:"Evaluation sample size per flow.")
+    $ Arg.(value & opt int 10000 & info [ "max-iters" ] ~docv:"N"
+             ~doc:"Per-point cap on accepted changes.")
+    $ Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+             ~doc:"Total shards splitting the corpus: shard $(i,s) owns the \
+                   points with index = s mod N.  Ownership depends only on the \
+                   canonical point index, so any combination of shard runs \
+                   over a shared directory converges to byte-identical \
+                   fronts.")
+    $ Arg.(value & opt int 0 & info [ "shard-id" ] ~docv:"I"
+             ~doc:"This process's shard index (0-based).")
+    $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Concurrent points in this process (0 detects the core \
+                   count).  Each point's flow is sequential, so results do \
+                   not depend on $(docv).")
+    $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-point progress lines."))
+
+let explore_cmd' =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Corpus-scale Pareto exploration: run the approximation flow over \
+             benchmark x metric x error-budget points, maintaining anytime \
+             area/delay-vs-error Pareto fronts on disk.  Crash-resumable \
+             (completed points persist atomically) and shardable across \
+             processes; final front files are byte-identical at any \
+             --shards/--jobs setting, including across kill and resume")
+    explore_term
 
 let socket_arg =
   Arg.(value & opt string "/tmp/alsrac.sock" & info [ "socket" ] ~docv:"PATH"
@@ -683,4 +821,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ list_cmd'; gen_cmd'; stats_cmd'; opt_cmd'; eval_cmd'; approx_cmd'; map_cmd';
-            cec_cmd'; serve_cmd'; client_cmd'' ]))
+            explore_cmd'; cec_cmd'; serve_cmd'; client_cmd'' ]))

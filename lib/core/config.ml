@@ -1,5 +1,19 @@
 type resyn_level = No_resyn | Light | Compress2
 
+type policy_hook = {
+  policy_name : string;
+  arms : int;
+  classify : depth_frac:float -> ndivisors:int -> int;
+  choose : unit -> int array;
+  feed : arm:int -> reward:float -> unit;
+  policy_state : unit -> string;
+  restore_state : string -> unit;
+}
+
+type policy = Greedy | Hook of policy_hook
+
+let policy_name = function Greedy -> "greedy" | Hook h -> h.policy_name
+
 type t = {
   metric : Errest.Metrics.kind;
   threshold : float;
@@ -24,6 +38,7 @@ type t = {
   certify_exact : bool;
   fault : Fault.plan;
   jobs : int;
+  policy : policy;
 }
 
 let default ~metric ~threshold =
@@ -51,11 +66,12 @@ let default ~metric ~threshold =
     certify_exact = false;
     fault = Fault.none;
     jobs = 1;
+    policy = Greedy;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d jobs=%d"
+    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d jobs=%d policy=%s"
     (Errest.Metrics.kind_to_string t.metric)
     t.threshold t.sim_rounds t.lac_limit t.patience t.scale t.eval_rounds t.seed
-    t.jobs
+    t.jobs (policy_name t.policy)

@@ -57,6 +57,22 @@ type certify = {
     function, and accepted LACs err as predicted.  Counters are per-process
     (not journaled): a resumed run reports the resumed portion only. *)
 
+type arm_stat = {
+  arm : int;
+  first_choice : int;
+      (** iterations in which this arm held the highest-priority candidate *)
+  accepted : int;  (** accepted LACs classified into this arm *)
+  reward_sum : float;  (** total reward fed to the hook for this arm *)
+}
+
+type policy_report = {
+  policy_name : string;
+  arm_stats : arm_stat array;  (** indexed by arm *)
+}
+(** Per-arm counters of a [Config.Hook] candidate-selection policy.
+    Observational and per-process (like {!certify} and [scoring]): the
+    hook's own reward state is journaled, these counters are not. *)
+
 exception Cancelled
 (** Raised by {!run}/{!resume} when the [?cancel] hook fires: at the next
     iteration boundary, or at the next pool chunk boundary inside
@@ -104,6 +120,8 @@ type report = {
   events : event list;  (** in application order, including pre-resume *)
   certify : certify option;
       (** verification verdicts; [None] unless [Config.certify_exact] *)
+  policy : policy_report option;
+      (** per-arm policy counters; [None] under the greedy policy *)
 }
 
 val run :
@@ -131,6 +149,7 @@ val run :
 val resume :
   ?fault:Fault.plan ->
   ?jobs:int ->
+  ?policy:Config.policy_hook ->
   ?cancel:(unit -> bool) ->
   ?pool:Parallel.Pool.t ->
   string ->

@@ -45,6 +45,9 @@ type state = {
   guard_rejects : int;
   recovered_exns : int;
   quarantined : int list;  (** signature hashes of quarantined targets *)
+  policy_state : string;
+      (** serialized candidate-selection-policy state
+          ([Config.policy_hook.policy_state]); [""] for the greedy policy *)
   events : event list;  (** newest first, as the flow accumulates them *)
 }
 
@@ -76,17 +79,22 @@ type resume = {
       (** set when a corrupt/torn checkpoint was skipped over *)
 }
 
-val load : string -> resume
+val load : ?policy:Config.policy_hook -> string -> resume
 (** Read a journal directory back.  Corrupt or truncated checkpoints are
     tolerated (see module description); a missing or corrupt manifest or
     original circuit raises [Failure] — without them there is nothing
-    meaningful to resume. *)
+    meaningful to resume.  [?policy] resolves a manifest that names a
+    non-greedy candidate-selection policy: the hook's name must match the
+    manifest's, or the load fails (a policy is code; only its name and
+    per-checkpoint state are persisted). *)
 
 (** {1 Config serialization} (exposed for tests) *)
 
 val config_to_string : Config.t -> string
 (** One [key value] line per field.  The {!Config.t.fault} plan is not
-    persisted: injected faults belong to a process, not to the run. *)
+    persisted: injected faults belong to a process, not to the run; the
+    {!Config.t.policy} is persisted by name only. *)
 
-val config_of_string : string -> Config.t
-(** Inverse of {!config_to_string}; unknown keys raise [Failure]. *)
+val config_of_string : ?policy:Config.policy_hook -> string -> Config.t
+(** Inverse of {!config_to_string}; unknown keys raise [Failure], as does a
+    non-greedy policy name that [?policy] does not supply. *)

@@ -1,0 +1,95 @@
+type point = { err : float; cost : float; tag : string }
+
+(* Sorted by ascending (err, cost, tag); on a valid front the (err, cost)
+   projection is strictly increasing in err and strictly decreasing in
+   cost, but the insert/merge code never relies on that — only on the
+   sort order and the antichain filter below. *)
+type t = point list
+
+let empty = []
+let size = List.length
+let points t = t
+
+let compare_point a b =
+  let c = Float.compare a.err b.err in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.cost b.cost in
+    if c <> 0 then c else String.compare a.tag b.tag
+
+let coords_equal a b = Float.equal a.err b.err && Float.equal a.cost b.cost
+
+let dominates p q =
+  p.err <= q.err && p.cost <= q.cost && not (coords_equal p q)
+
+let valid_tag tag =
+  tag <> ""
+  && String.for_all
+       (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r')
+       tag
+
+let check_point p =
+  if Float.is_nan p.err || Float.is_nan p.cost then
+    invalid_arg "Front.insert: NaN coordinate";
+  if not (valid_tag p.tag) then
+    invalid_arg "Front.insert: tag must be non-empty, without whitespace"
+
+let insert t p =
+  check_point p;
+  let keep_new =
+    not
+      (List.exists
+         (fun q ->
+           dominates q p || (coords_equal q p && String.compare q.tag p.tag <= 0))
+         t)
+  in
+  if not keep_new then t
+  else
+    let survivors =
+      List.filter (fun q -> not (dominates p q || coords_equal p q)) t
+    in
+    List.merge compare_point [ p ] survivors
+
+let of_points ps = List.fold_left insert empty ps
+let merge a b = List.fold_left insert a b
+let member t p = List.exists (fun q -> coords_equal q p && q.tag = p.tag) t
+
+let is_antichain t =
+  let sorted = List.sort compare_point t in
+  sorted = t
+  && List.for_all
+       (fun p ->
+         List.for_all
+           (fun q -> p == q || (not (dominates p q)) && not (coords_equal p q))
+           t)
+       t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun p q -> coords_equal p q && p.tag = q.tag)
+       a b
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "p %h %h %s\n" p.err p.cost p.tag))
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  let parse_float what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "Front.of_string: bad %s %S" what v)
+  in
+  let parse_line line =
+    match String.split_on_char ' ' line with
+    | [ "p"; err; cost; tag ] when valid_tag tag ->
+        { err = parse_float "err" err; cost = parse_float "cost" cost; tag }
+    | _ -> failwith (Printf.sprintf "Front.of_string: bad line %S" line)
+  in
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "" && l.[0] <> '#')
+  |> List.map parse_line
+  |> of_points

@@ -1,0 +1,69 @@
+(** Canonical Pareto fronts over (error, cost), both minimized.
+
+    A front is the minimizing antichain of the points inserted into it:
+    no member dominates another, and every dominated point is discarded
+    at insertion.  The representation is {e canonical} — a front is a
+    function of the {e set} of points ever inserted, never of their
+    insertion order or of how that set was partitioned across shards:
+
+    - members are kept sorted by ascending [(err, cost, tag)];
+    - points with equal coordinates are deduplicated, keeping the
+      lexicographically smallest [tag].
+
+    Canonicity is what makes sharded exploration honest:
+    [merge (of_points a) (of_points b) = of_points (a @ b)] for every
+    partition, so shard-local fronts can be combined without replaying
+    the sweep.  {!to_string} prints coordinates as hexadecimal float
+    literals ([%h]) — exact round-trip, no decimal drift — so equal
+    fronts serialize to byte-identical files. *)
+
+type point = {
+  err : float;  (** achieved (or budgeted) error — minimized *)
+  cost : float;  (** area / delay / LUT count / depth — minimized *)
+  tag : string;  (** provenance label; no whitespace or newlines *)
+}
+
+type t
+
+val empty : t
+
+val size : t -> int
+
+val points : t -> point list
+(** In canonical order: ascending [err], then [cost], then [tag]. *)
+
+val dominates : point -> point -> bool
+(** [dominates p q]: [p] is no worse on both coordinates and strictly
+    better on at least one.  Equal-coordinate points do not dominate
+    each other (they are merged by tag instead). *)
+
+val insert : t -> point -> t
+(** Add one point: discarded if dominated by (or coordinate-equal with a
+    smaller-tagged) member; otherwise inserted, evicting every member it
+    dominates.  Raises [Invalid_argument] on NaN coordinates or a tag
+    containing whitespace. *)
+
+val of_points : point list -> t
+
+val merge : t -> t -> t
+(** Union of two fronts, re-filtered; equals [of_points] of the union of
+    their members (and, by induction, of everything ever inserted). *)
+
+val member : t -> point -> bool
+(** Exact membership ([Float.equal] on both coordinates, equal tag). *)
+
+val is_antichain : t -> bool
+(** No member dominates another, no two members share coordinates, and
+    storage order is canonical — the representation invariant, exposed
+    for property tests. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** One [p <err> <cost> <tag>] line per member in canonical order,
+    coordinates as [%h] hex floats: equal fronts yield identical
+    bytes. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Failure] on malformed input.
+    Ignores blank lines and lines starting with [#]. *)

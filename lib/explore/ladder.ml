@@ -1,0 +1,80 @@
+type t = { metric : Errest.Metrics.kind; budgets : float list }
+
+(* ER thresholds follow the paper's Tables IV/VI sweep points (0.1% to
+   5%); the distance-metric ladders cover the Table V/VII ranges. *)
+let defaults =
+  [
+    { metric = Errest.Metrics.Er; budgets = [ 0.001; 0.005; 0.01; 0.03; 0.05 ] };
+    { metric = Errest.Metrics.Nmed; budgets = [ 0.0001; 0.0005; 0.001; 0.005 ] };
+    { metric = Errest.Metrics.Mred; budgets = [ 0.005; 0.01; 0.05; 0.1 ] };
+  ]
+
+let ( let* ) = Result.bind
+
+let parse_budget s =
+  match float_of_string_opt (String.trim s) with
+  | Some b when b > 0.0 && b <= 1.0 -> Ok b
+  | Some b -> Error (Printf.sprintf "budget %g out of (0, 1]" b)
+  | None -> Error (Printf.sprintf "bad budget %S" s)
+
+let rec parse_budgets = function
+  | [] -> Ok []
+  | s :: rest ->
+      let* b = parse_budget s in
+      let* bs = parse_budgets rest in
+      Ok (b :: bs)
+
+let ascending bs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a < b && go rest
+    | _ -> true
+  in
+  go bs
+
+let parse_group g =
+  match String.index_opt g '=' with
+  | None -> Error (Printf.sprintf "bad ladder group %S (want metric=b1,b2,...)" g)
+  | Some i -> (
+      let mname = String.trim (String.sub g 0 i) in
+      let rest = String.sub g (i + 1) (String.length g - i - 1) in
+      match Errest.Metrics.kind_of_string mname with
+      | None -> Error (Printf.sprintf "unknown metric %S (er|nmed|mred)" mname)
+      | Some metric ->
+          let* budgets = parse_budgets (String.split_on_char ',' rest) in
+          if budgets = [] then Error (Printf.sprintf "empty ladder for %s" mname)
+          else if not (ascending budgets) then
+            Error (Printf.sprintf "budgets for %s must be strictly ascending" mname)
+          else Ok { metric; budgets })
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" || spec = "default" then Ok defaults
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | g :: rest ->
+          let* l = parse_group g in
+          if List.exists (fun l' -> l'.metric = l.metric) acc then
+            Error
+              (Printf.sprintf "duplicate ladder for metric %s"
+                 (Errest.Metrics.kind_to_string l.metric))
+          else go (l :: acc) rest
+    in
+    go []
+      (String.split_on_char ';' spec
+      |> List.map String.trim
+      |> List.filter (fun g -> g <> ""))
+
+let to_spec ls =
+  String.concat ";"
+    (List.map
+       (fun l ->
+         Printf.sprintf "%s=%s"
+           (Errest.Metrics.kind_to_string l.metric)
+           (String.concat "," (List.map (Printf.sprintf "%h") l.budgets)))
+       ls)
+
+let pp fmt l =
+  Format.fprintf fmt "%s:[%s]"
+    (Errest.Metrics.kind_to_string l.metric)
+    (String.concat "," (List.map (Printf.sprintf "%g") l.budgets))

@@ -1,0 +1,31 @@
+(** Error-budget ladders: the per-metric threshold sequences a sweep
+    explores.
+
+    A ladder pairs an error metric with an ascending list of budgets;
+    the corpus sweep runs one full flow per (benchmark, metric, budget)
+    triple.  The spec grammar (CLI [--ladder], also the manifest's
+    persisted form) is semicolon-separated [metric=b1,b2,...] groups,
+    e.g. ["er=0.01,0.03;nmed=0.001"].  Budgets accept both decimal and
+    hexadecimal float literals; {!to_spec} always emits hex ([%h]) so a
+    ladder round-trips through the manifest bit-exactly. *)
+
+type t = {
+  metric : Errest.Metrics.kind;
+  budgets : float list;  (** ascending, each in (0, 1] *)
+}
+
+val defaults : t list
+(** The paper-shaped default sweep: an ER ladder over the thresholds of
+    the Table IV/VI experiments plus NMED and MRED ladders in the Table
+    V/VII ranges. *)
+
+val parse : string -> (t list, string) result
+(** Parse a spec; ["default"] (or [""]) yields {!defaults}.  Rejects
+    unknown metrics, duplicate metrics, non-ascending or out-of-range
+    budgets. *)
+
+val to_spec : t list -> string
+(** Canonical spec string ([%h] budgets); [parse (to_spec l)] recovers
+    [l] exactly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type kind = Greedy | Bandit
+
+let kind_of_string = function
+  | "greedy" -> Some Greedy
+  | "bandit" | "ucb1" -> Some Bandit
+  | _ -> None
+
+let kind_to_string = function Greedy -> "greedy" | Bandit -> "bandit"
+let bandit_name = "ucb1"
+let families = 4 (* ndivisors 0 (constant), 1 (wire), 2, >=3 *)
+let regions = 3 (* depth terciles of the target node *)
+let arms = families * regions
+
+let classify ~depth_frac ~ndivisors =
+  let family = if ndivisors >= families - 1 then families - 1 else max 0 ndivisors in
+  let region =
+    if depth_frac < 1.0 /. 3.0 then 0 else if depth_frac < 2.0 /. 3.0 then 1 else 2
+  in
+  (family * regions) + region
+
+(* UCB1 with exploration constant c = 0.5 (rewards live in [0,1] but
+   cluster near 0 — area saved per scored candidate — so the textbook
+   c = sqrt 2 over-explores).  All tie-breaks are by arm index: the
+   priority order is a pure function of (counts, rewards). *)
+let ucb_c = 0.5
+
+type state = { counts : int array; rewards : float array }
+
+let choose_order st =
+  let total = Array.fold_left ( + ) 0 st.counts in
+  let score a =
+    if st.counts.(a) = 0 then infinity
+    else
+      let n = float_of_int st.counts.(a) in
+      (st.rewards.(a) /. n)
+      +. (ucb_c *. sqrt (log (float_of_int (max 1 total)) /. n))
+  in
+  let order = Array.init arms (fun a -> a) in
+  (* Stable sort + index tie-break: untried arms (infinite score) lead in
+     index order, then descending UCB. *)
+  let cmp a b =
+    let c = Float.compare (score b) (score a) in
+    if c <> 0 then c else compare a b
+  in
+  Array.stable_sort cmp order;
+  order
+
+let state_to_string st =
+  String.concat " "
+    ("ucb1"
+    :: List.init arms (fun a ->
+           Printf.sprintf "%d:%h" st.counts.(a) st.rewards.(a)))
+
+let state_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | "ucb1" :: cells when List.length cells = arms ->
+      let counts = Array.make arms 0 and rewards = Array.make arms 0.0 in
+      List.iteri
+        (fun a cell ->
+          match String.index_opt cell ':' with
+          | Some i -> (
+              let c = String.sub cell 0 i
+              and r = String.sub cell (i + 1) (String.length cell - i - 1) in
+              match (int_of_string_opt c, float_of_string_opt r) with
+              | Some c, Some r when c >= 0 ->
+                  counts.(a) <- c;
+                  rewards.(a) <- r
+              | _ -> failwith (Printf.sprintf "ucb1 state: bad cell %S" cell))
+          | None -> failwith (Printf.sprintf "ucb1 state: bad cell %S" cell))
+        cells;
+      { counts; rewards }
+  | _ -> failwith (Printf.sprintf "ucb1 state: cannot parse %S" s)
+
+let hook () =
+  let st = { counts = Array.make arms 0; rewards = Array.make arms 0.0 } in
+  {
+    Core.Config.policy_name = bandit_name;
+    arms;
+    classify;
+    choose = (fun () -> choose_order st);
+    feed =
+      (fun ~arm ~reward ->
+        if arm >= 0 && arm < arms then begin
+          st.counts.(arm) <- st.counts.(arm) + 1;
+          st.rewards.(arm) <- st.rewards.(arm) +. reward
+        end);
+    policy_state = (fun () -> state_to_string st);
+    restore_state =
+      (fun s ->
+        let st' = state_of_string s in
+        Array.blit st'.counts 0 st.counts 0 arms;
+        Array.blit st'.rewards 0 st.rewards 0 arms);
+  }
+
+let make = function
+  | Greedy -> Core.Config.Greedy
+  | Bandit -> Core.Config.Hook (hook ())

@@ -1,0 +1,43 @@
+(** Adaptive candidate-selection policies for the flow.
+
+    The flow's greedy default attempts candidates in smallest-error-first
+    order.  The bandit policy instead learns {e which kinds of candidate
+    pay off} on the circuit at hand and re-prioritizes accordingly: every
+    candidate is classified into one of {!arms} arms — a (transform
+    family, node region) bucket — and a UCB1 bandit orders the arms by
+    upper confidence bound on reward (area saved per scored candidate,
+    fed back by the flow after each accepted change; see
+    [Core.Config.policy_hook]).
+
+    The bandit is deterministic: arm choice depends only on the reward
+    history, ties break toward the lower arm index, and untried arms are
+    explored first in index order.  Its whole state serializes to one
+    line ([%h] floats, exact round-trip), which the journal checkpoints
+    so a killed-and-resumed run replays the same decisions. *)
+
+type kind = Greedy | Bandit
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string
+
+val bandit_name : string
+(** The [policy_name] the bandit hook reports (["ucb1"]); journal
+    manifests persist it, and resume must supply a hook with the same
+    name. *)
+
+val arms : int
+(** 12: four transform families (constant / wire / 2-divisor / wider
+    resubstitution) crossed with three depth terciles of the target
+    node. *)
+
+val classify : depth_frac:float -> ndivisors:int -> int
+(** Arm of a candidate: [min ndivisors 3 * 3 + tercile depth_frac].
+    Exposed for tests; the hook built by {!make} uses exactly this. *)
+
+val make : kind -> Core.Config.policy
+(** [make Greedy] is [Core.Config.Greedy]; [make Bandit] allocates a
+    {e fresh} bandit (hooks are stateful — never share one across
+    concurrent flows) wrapped as [Core.Config.Hook]. *)
+
+val hook : unit -> Core.Config.policy_hook
+(** A fresh bandit hook, for [Core.Flow.resume ?policy]. *)

@@ -1,0 +1,7 @@
+let validate ~shards ~shard_id =
+  if shards < 1 then Error (Printf.sprintf "--shards must be >= 1 (got %d)" shards)
+  else if shard_id < 0 || shard_id >= shards then
+    Error (Printf.sprintf "--shard-id must be in 0..%d (got %d)" (shards - 1) shard_id)
+  else Ok ()
+
+let owns ~shards ~shard_id index = index mod shards = shard_id

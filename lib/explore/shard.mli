@@ -1,0 +1,16 @@
+(** Deterministic work assignment for multi-process sweeps.
+
+    A sweep's work list is canonical (fixed by the manifest, independent
+    of execution), so sharding is just arithmetic on indices: shard [s]
+    of [n] owns every point whose index is congruent to [s] mod [n].
+    Ownership depends only on the index — never on process layout, pool
+    size, or which points already completed — which is what lets any
+    combination of shard runs (including interrupted and restarted ones
+    with a {e different} shard count) converge to the same completed set
+    and hence byte-identical fronts. *)
+
+val validate : shards:int -> shard_id:int -> (unit, string) result
+(** [shards >= 1] and [0 <= shard_id < shards]. *)
+
+val owns : shards:int -> shard_id:int -> int -> bool
+(** [owns ~shards ~shard_id index] — round-robin by index. *)

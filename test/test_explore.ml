@@ -1,0 +1,421 @@
+(* lib/explore: canonical Pareto fronts (unit + property tests), budget
+   ladders, the UCB1 bandit policy (including journaled kill/resume), and
+   the corpus sweep's resume/shard/jobs determinism — down to a SIGKILL of
+   the real CLI mid-corpus. *)
+
+module F = Explore.Front
+module Rng = Logic.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let fresh_dir () = Filename.temp_file "alsrac_explore" "" ^ ".d"
+
+(* ---------- Front: unit ---------- *)
+
+let p ?(tag = "t") err cost = { F.err; cost; tag }
+
+let test_front_basics () =
+  let f = F.of_points [ p 0.1 10.0; p 0.2 5.0; p 0.3 2.0 ] in
+  check_int "incomparable points all kept" 3 (F.size f);
+  let f = F.insert f (p 0.15 20.0) in
+  check_int "dominated insert is a no-op" 3 (F.size f);
+  let f = F.insert f (p 0.05 1.0) in
+  check_int "dominating insert evicts everything" 1 (F.size f);
+  check "result is an antichain" true (F.is_antichain f)
+
+let test_front_tag_tiebreak () =
+  (* Equal coordinates: the lexicographically smaller tag wins, in both
+     insertion orders — that is what makes the front canonical. *)
+  let a = F.insert (F.insert F.empty (p ~tag:"b" 0.1 1.0)) (p ~tag:"a" 0.1 1.0) in
+  let b = F.insert (F.insert F.empty (p ~tag:"a" 0.1 1.0)) (p ~tag:"b" 0.1 1.0) in
+  check "same front either way" true (F.equal a b);
+  check_str "smaller tag kept" "a" (List.hd (F.points a)).F.tag
+
+let test_front_serialization () =
+  let f = F.of_points [ p ~tag:"x" 0.125 3.0; p ~tag:"y" 0.0625 7.5 ] in
+  let s = F.to_string f in
+  check "round-trips" true (F.equal f (F.of_string s));
+  check_str "byte-stable" s (F.to_string (F.of_string s));
+  (match F.of_string "p nonsense 1.0 t" with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  match F.insert F.empty (p ~tag:"bad tag" 0.1 1.0) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- Front: properties ---------- *)
+
+(* Coarse coordinate grid so random cases hit equal coordinates and exact
+   dominance often; tags from a small pool to exercise the tie-break. *)
+let gen_points seed =
+  let rng = Rng.create seed in
+  List.init
+    (1 + Rng.int rng 40)
+    (fun _ ->
+      {
+        F.err = float_of_int (Rng.int rng 8) /. 8.0;
+        cost = float_of_int (Rng.int rng 8);
+        tag = Printf.sprintf "t%d" (Rng.int rng 6);
+      })
+
+(* Shrink a point list by dropping one element at a time. *)
+let shrink_points ps =
+  List.init (List.length ps) (fun i -> List.filteri (fun j _ -> j <> i) ps)
+
+let repr_points ps =
+  String.concat "; "
+    (List.map (fun q -> Printf.sprintf "(%g,%g,%s)" q.F.err q.F.cost q.F.tag) ps)
+
+let check_prop ~name prop =
+  Verify.Prop.check_value_exn ~name ~seed:1 ~count:200 ~gen:gen_points
+    ~shrink:shrink_points ~repr:repr_points prop
+
+let test_prop_antichain () =
+  check_prop ~name:"front-antichain" (fun ps ->
+      if F.is_antichain (F.of_points ps) then Ok ()
+      else Error "of_points is not an antichain")
+
+let test_prop_dominated_never_survives () =
+  check_prop ~name:"front-no-dominated" (fun ps ->
+      let f = F.of_points ps in
+      let offender =
+        List.find_opt
+          (fun m -> List.exists (fun q -> F.dominates q m) ps)
+          (F.points f)
+      in
+      match offender with
+      | None -> Ok ()
+      | Some m ->
+          Error (Printf.sprintf "member (%g,%g,%s) is dominated" m.F.err m.F.cost m.F.tag))
+
+let test_prop_merge_equals_union () =
+  check_prop ~name:"front-merge-union" (fun ps ->
+      let rng = Rng.create (Hashtbl.hash ps) in
+      let nshards = 1 + Rng.int rng 4 in
+      let parts = Array.make nshards [] in
+      List.iteri (fun i q -> parts.(i mod nshards) <- q :: parts.(i mod nshards)) ps;
+      let merged =
+        Array.fold_left (fun acc part -> F.merge acc (F.of_points part)) F.empty parts
+      in
+      let whole = F.of_points ps in
+      if not (F.equal merged whole) then
+        Error (Printf.sprintf "merge of %d shard fronts differs from union front" nshards)
+      else if F.to_string merged <> F.to_string whole then
+        Error "equal fronts serialized to different bytes"
+      else Ok ())
+
+(* ---------- Ladder ---------- *)
+
+let test_ladder_parse () =
+  (match Explore.Ladder.parse "default" with
+  | Ok ls -> check_int "three default ladders" 3 (List.length ls)
+  | Error e -> Alcotest.fail e);
+  match Explore.Ladder.parse "er=0.01,0.05;nmed=0.001" with
+  | Ok [ a; b ] ->
+      check "er ladder" true (a.Explore.Ladder.metric = Errest.Metrics.Er);
+      check "nmed ladder" true (b.Explore.Ladder.metric = Errest.Metrics.Nmed);
+      check_int "two er budgets" 2 (List.length a.Explore.Ladder.budgets)
+  | Ok _ -> Alcotest.fail "expected two ladders"
+  | Error e -> Alcotest.fail e
+
+let test_ladder_roundtrip_and_rejects () =
+  (match Explore.Ladder.parse "er=0.001,0.03;mred=0.01,0.1" with
+  | Ok ls -> (
+      let spec = Explore.Ladder.to_spec ls in
+      match Explore.Ladder.parse spec with
+      | Ok ls' -> check "spec round-trips exactly" true (ls = ls')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Explore.Ladder.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted bad spec %S" bad)
+      | Error _ -> ())
+    [ "er=0.05,0.01"; "er=0"; "er=2.0"; "banana=0.1"; "er=0.01;er=0.05"; "er=" ]
+
+(* ---------- Policy ---------- *)
+
+let test_policy_classify_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let a =
+      Explore.Policy.classify
+        ~depth_frac:(Rng.float rng *. 1.5)
+        ~ndivisors:(Rng.int rng 9)
+    in
+    check "arm in range" true (a >= 0 && a < Explore.Policy.arms)
+  done
+
+let is_permutation order =
+  let seen = Array.make Explore.Policy.arms false in
+  Array.length order = Explore.Policy.arms
+  && Array.for_all
+       (fun a ->
+         a >= 0 && a < Explore.Policy.arms && not seen.(a) && (seen.(a) <- true; true))
+       order
+
+let test_policy_deterministic_and_restorable () =
+  let feed_script h =
+    List.iter
+      (fun (arm, reward) -> h.Core.Config.feed ~arm ~reward)
+      [ (3, 0.5); (3, 0.25); (7, 0.9); (1, 0.0); (7, 0.8); (11, 0.1) ]
+  in
+  let h1 = Explore.Policy.hook () and h2 = Explore.Policy.hook () in
+  check "untried order is by index" true
+    (h1.Core.Config.choose () = Array.init Explore.Policy.arms Fun.id);
+  feed_script h1;
+  feed_script h2;
+  check "permutation" true (is_permutation (h1.Core.Config.choose ()));
+  check "same history, same order" true
+    (h1.Core.Config.choose () = h2.Core.Config.choose ());
+  let h3 = Explore.Policy.hook () in
+  h3.Core.Config.restore_state (h1.Core.Config.policy_state ());
+  check "state restore preserves order" true
+    (h1.Core.Config.choose () = h3.Core.Config.choose ());
+  check_str "state serialization is stable"
+    (h1.Core.Config.policy_state ())
+    (h3.Core.Config.policy_state ());
+  match h3.Core.Config.restore_state "ucb1 garbage" with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
+(* ---------- Flow with the bandit: determinism and kill/resume ---------- *)
+
+let bandit_config =
+  { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.05) with
+    Core.Config.eval_rounds = 1024; max_iters = 12; seed = 7;
+    policy = Explore.Policy.make Explore.Policy.Bandit }
+
+let circuit () = Circuits.Epfl_control.cavlc ()
+
+let bandit_baseline =
+  lazy
+    (Core.Flow.run
+       ~config:{ bandit_config with Core.Config.policy = Explore.Policy.make Explore.Policy.Bandit }
+       (circuit ()))
+
+let test_bandit_flow_deterministic () =
+  let a1, r1 = Lazy.force bandit_baseline in
+  let a2, r2 =
+    Core.Flow.run
+      ~config:{ bandit_config with Core.Config.policy = Explore.Policy.make Explore.Policy.Bandit }
+      (circuit ())
+  in
+  check "bandit accepted something" true (r1.Core.Flow.applied > 0);
+  check_int "same ands" (Aig.Graph.num_ands a1) (Aig.Graph.num_ands a2);
+  check "same events" true (r1.Core.Flow.events = r2.Core.Flow.events);
+  match r1.Core.Flow.policy with
+  | Some pr ->
+      check_str "reported policy name" Explore.Policy.bandit_name
+        pr.Core.Flow.policy_name;
+      check_int "arm stats cover all arms" Explore.Policy.arms
+        (Array.length pr.Core.Flow.arm_stats)
+  | None -> Alcotest.fail "bandit run reported no policy stats"
+
+let test_bandit_kill_and_resume () =
+  let a_full, r_full = Lazy.force bandit_baseline in
+  check "baseline applied enough LACs" true (r_full.Core.Flow.applied >= 4);
+  let dir = fresh_dir () in
+  let config =
+    { bandit_config with
+      Core.Config.policy = Explore.Policy.make Explore.Policy.Bandit;
+      fault = [ Core.Fault.Kill_after { applied = 3 } ] }
+  in
+  (match Core.Flow.run ~journal:dir ~config (circuit ()) with
+  | _ -> Alcotest.fail "expected the injected kill to fire"
+  | exception Core.Fault.Killed -> ());
+  (* Resuming without the bandit hook must refuse: the policy is code,
+     the journal only names it. *)
+  (match Core.Flow.resume dir with
+  | _ -> Alcotest.fail "resume without the policy hook should fail"
+  | exception Failure _ -> ());
+  let a_res, r_res = Core.Flow.resume ~policy:(Explore.Policy.hook ()) dir in
+  check "resumed flag set" true r_res.Core.Flow.resumed;
+  check_int "same final AND count" (Aig.Graph.num_ands a_full) (Aig.Graph.num_ands a_res);
+  check_int "same applied count" r_full.Core.Flow.applied r_res.Core.Flow.applied;
+  check "identical PO behaviour" true (Util.equivalent a_full a_res)
+
+(* ---------- Sweep: resume idempotence, shard and jobs invariance ---------- *)
+
+let tiny_spec dir =
+  {
+    Explore.Sweep.dir;
+    benchmarks = [ "ctrl"; "int2float" ];
+    ladders =
+      [ { Explore.Ladder.metric = Errest.Metrics.Er; budgets = [ 0.01; 0.05 ] } ];
+    policy = Explore.Policy.Greedy;
+    seed = 1;
+    eval_rounds = 128;
+    max_iters = 3;
+    shards = 1;
+    shard_id = 0;
+    jobs = 1;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let front_files dir =
+  let d = Filename.concat dir "fronts" in
+  Sys.readdir d |> Array.to_list |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat d f)))
+
+let run_spec spec =
+  match Explore.Sweep.run spec with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_sweep_smoke_and_resume () =
+  let dir = fresh_dir () in
+  let p1 = run_spec (tiny_spec dir) in
+  check_int "four points" 4 p1.Explore.Sweep.total;
+  check_int "all ran" 4 p1.Explore.Sweep.ran;
+  let fronts1 = front_files dir in
+  check "per-bench and corpus fronts written" true (List.length fronts1 = 3);
+  (* Resume onto the completed directory: nothing re-runs, fronts stay
+     byte-identical.  The CLI flags are deliberately different — the
+     stored manifest must supersede them. *)
+  let p2 = run_spec { (tiny_spec dir) with Explore.Sweep.seed = 999; jobs = 2 } in
+  check_int "nothing re-ran" 0 p2.Explore.Sweep.ran;
+  check_int "all found done" 4 p2.Explore.Sweep.already_done;
+  check "fronts unchanged" true (front_files dir = fronts1)
+
+let test_sweep_shard_and_jobs_invariance () =
+  let ref_dir = fresh_dir () in
+  let _ = run_spec (tiny_spec ref_dir) in
+  let reference = front_files ref_dir in
+  (* Two shard processes over a shared directory. *)
+  let sharded = fresh_dir () in
+  let _ = run_spec { (tiny_spec sharded) with Explore.Sweep.shards = 2; shard_id = 0 } in
+  let p = run_spec { (tiny_spec sharded) with Explore.Sweep.shards = 2; shard_id = 1 } in
+  check_int "shard 1 owns half" 2 p.Explore.Sweep.owned;
+  check "sharded fronts byte-identical" true (front_files sharded = reference);
+  (* Same sweep at jobs = 2. *)
+  let jobs2 = fresh_dir () in
+  let _ = run_spec { (tiny_spec jobs2) with Explore.Sweep.jobs = 2 } in
+  check "jobs=2 fronts byte-identical" true (front_files jobs2 = reference)
+
+let test_sweep_rejects () =
+  (match Explore.Sweep.run { (tiny_spec (fresh_dir ())) with Explore.Sweep.shards = 2; shard_id = 2 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted shard_id >= shards");
+  match
+    Explore.Sweep.run
+      { (tiny_spec (fresh_dir ())) with Explore.Sweep.benchmarks = [ "nonesuch" ] }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown benchmark"
+
+(* ---------- CLI: SIGKILL mid-corpus, resume with different sharding ---------- *)
+
+let alsrac_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/alsrac.exe"
+
+let explore_argv dir ~shards ~shard_id =
+  [| alsrac_exe; "explore"; "--dir"; dir; "--benchmarks"; "ctrl,int2float";
+     "--ladder"; "er=0.005,0.01,0.02,0.05"; "--eval-rounds"; "512";
+     "--max-iters"; "8"; "--shards"; string_of_int shards; "--shard-id";
+     string_of_int shard_id; "--quiet" |]
+
+let spawn_explore dir ~shards ~shard_id =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process alsrac_exe (explore_argv dir ~shards ~shard_id) null null null
+  in
+  Unix.close null;
+  pid
+
+let run_explore_blocking dir ~shards ~shard_id =
+  let pid = spawn_explore dir ~shards ~shard_id in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "alsrac explore exited non-zero"
+
+let wait_for_some_point dir ~timeout_s =
+  let points = Filename.concat dir "points" in
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    let have =
+      Sys.file_exists points && Array.length (Sys.readdir points) > 0
+    in
+    if have then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let test_cli_kill_and_resume_across_shards () =
+  (* Uninterrupted reference sweep. *)
+  let ref_dir = fresh_dir () in
+  run_explore_blocking ref_dir ~shards:1 ~shard_id:0;
+  let reference = front_files ref_dir in
+  check "reference produced fronts" true (reference <> []);
+  (* Kill a fresh sweep mid-corpus (as soon as the first point lands)... *)
+  let dir = fresh_dir () in
+  let pid = spawn_explore dir ~shards:1 ~shard_id:0 in
+  let saw_point = wait_for_some_point dir ~timeout_s:60.0 in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  check "a point completed before the kill" true saw_point;
+  let npoints dir = Array.length (Sys.readdir (Filename.concat dir "points")) in
+  check "the kill interrupted the corpus" true (npoints dir < 8);
+  (* ... and resume it under a different sharding: two processes, one per
+     shard.  The completed set must converge and the final front files be
+     byte-identical to the uninterrupted run's. *)
+  run_explore_blocking dir ~shards:2 ~shard_id:0;
+  run_explore_blocking dir ~shards:2 ~shard_id:1;
+  check_int "all points completed after resume" 8 (npoints dir);
+  List.iter2
+    (fun (name_a, bytes_a) (name_b, bytes_b) ->
+      check_str "front file name" name_a name_b;
+      check_str (Printf.sprintf "front bytes of %s" name_a) bytes_a bytes_b)
+    reference (front_files dir)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "front",
+        [
+          Alcotest.test_case "basics" `Quick test_front_basics;
+          Alcotest.test_case "tag tie-break" `Quick test_front_tag_tiebreak;
+          Alcotest.test_case "serialization" `Quick test_front_serialization;
+          Alcotest.test_case "antichain property" `Quick test_prop_antichain;
+          Alcotest.test_case "no dominated survivor" `Quick
+            test_prop_dominated_never_survives;
+          Alcotest.test_case "merge = union front" `Quick test_prop_merge_equals_union;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "parse" `Quick test_ladder_parse;
+          Alcotest.test_case "round-trip and rejects" `Quick
+            test_ladder_roundtrip_and_rejects;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "classify bounds" `Quick test_policy_classify_bounds;
+          Alcotest.test_case "deterministic and restorable" `Quick
+            test_policy_deterministic_and_restorable;
+        ] );
+      ( "bandit-flow",
+        [
+          Alcotest.test_case "deterministic" `Slow test_bandit_flow_deterministic;
+          Alcotest.test_case "kill and resume" `Slow test_bandit_kill_and_resume;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "smoke and resume" `Slow test_sweep_smoke_and_resume;
+          Alcotest.test_case "shard and jobs invariance" `Slow
+            test_sweep_shard_and_jobs_invariance;
+          Alcotest.test_case "rejects" `Quick test_sweep_rejects;
+          Alcotest.test_case "CLI kill and resume" `Slow
+            test_cli_kill_and_resume_across_shards;
+        ] );
+    ]

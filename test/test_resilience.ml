@@ -64,6 +64,7 @@ let test_journal_record_load_roundtrip () =
       guard_rejects = 1;
       recovered_exns = 2;
       quarantined = [ 17; 42 ];
+      policy_state = "";
       events =
         [
           { Core.Journal.iteration = 9; target = 31; est_error = 0.015625;
