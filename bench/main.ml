@@ -899,6 +899,7 @@ let explore_bench () =
       shards = 1;
       shard_id = 0;
       jobs;
+      distr = Errest.Distr.Unif;
     }
   in
   let sweep name s =
@@ -1004,6 +1005,131 @@ let explore_bench () =
     exit 1
   end
 
+(* ---------- Max-error certification microbenchmark ----------
+
+   Worst-case synthesis splits into a cheap sampled phase (the maximum
+   over simulated rounds — a lower bound on the truth) and the exact
+   error-computation-miter certification that closes the gap
+   (Errest.Maxerr: violation miter + witness refinement, no SAT).  For
+   each fixture a max-metric flow first shrinks the circuit under its
+   budget; the bench then times the two phases separately on the result
+   and records the sampled/certified gap and the refinement count.
+   Writes BENCH_maxerr.json.  Any closed certification with
+   sampled > certified is a soundness bug and fails the bench; smoke mode
+   additionally fails if a miter does not close. *)
+
+type maxerr_row = {
+  x_circuit : string;
+  x_metric : string;
+  x_threshold : float;
+  x_ands_before : int;
+  x_ands_after : int;
+  x_applied : int;
+  x_sampled : float;
+  x_certified : float;
+  x_refinements : int;
+  x_sim_s : float;
+  x_certify_s : float;
+  x_closed : bool;
+}
+
+let maxerr_fixture (name, kind, threshold) =
+  match Circuits.Suite.find name with
+  | None -> failwith ("maxerr bench: unknown circuit " ^ name)
+  | Some e ->
+      let g = Graph.compact (e.Circuits.Suite.build ()) in
+      let config =
+        {
+          (Core.Config.default ~metric:kind ~threshold) with
+          Core.Config.seed = 1;
+          eval_rounds = (if smoke_mode then 512 else 2048);
+          max_iters = (if smoke_mode then 6 else 40);
+        }
+      in
+      let approx, report = Core.Flow.run ~config g in
+      let t0 = wall () in
+      let sampled = Metrics.evaluate ~seed:7 ~sample:4096 kind ~original:g ~approx in
+      let sim_s = wall () -. t0 in
+      let t1 = wall () in
+      let outcome = Errest.Maxerr.certify kind ~original:g ~approx in
+      let certify_s = wall () -. t1 in
+      let certified, refinements, closed =
+        match outcome with
+        | Errest.Maxerr.Exact { max; refinements; _ } -> (max, refinements, true)
+        | Errest.Maxerr.Undecided _ -> (Float.nan, -1, false)
+      in
+      {
+        x_circuit = name;
+        x_metric = Metrics.kind_to_string kind;
+        x_threshold = threshold;
+        x_ands_before = Graph.num_ands g;
+        x_ands_after = Graph.num_ands approx;
+        x_applied = report.Core.Flow.applied;
+        x_sampled = sampled;
+        x_certified = certified;
+        x_refinements = refinements;
+        x_sim_s = sim_s;
+        x_certify_s = certify_s;
+        x_closed = closed;
+      }
+
+let maxerr_bench () =
+  Printf.printf "\n== Max-error certification: sampled phase vs miter phase ==\n%!";
+  let fixtures =
+    if smoke_mode then [ ("ctrl", Metrics.Maxed, 3.0); ("cavlc", Metrics.Maxhd, 2.0) ]
+    else
+      [
+        ("ctrl", Metrics.Maxed, 3.0);
+        ("cavlc", Metrics.Maxed, 2.0);
+        ("cavlc", Metrics.Maxhd, 2.0);
+        ("int2float", Metrics.Maxed, 3.0);
+        ("int2float", Metrics.Maxred, 0.25);
+        ("rca32", Metrics.Maxed, 7.0);
+      ]
+  in
+  let rows =
+    List.map
+      (fun fixture ->
+        let r = maxerr_fixture fixture in
+        Printf.printf
+          "%-10s %-7s budget %-5g | ands %4d -> %4d (%2d LACs) | sampled %-8g \
+           certified %-8g (%d refinements) | sim %6.3fs  certify %6.3fs%s\n\
+           %!"
+          r.x_circuit r.x_metric r.x_threshold r.x_ands_before r.x_ands_after
+          r.x_applied r.x_sampled r.x_certified r.x_refinements r.x_sim_s
+          r.x_certify_s
+          (if r.x_closed then "" else "  UNDECIDED");
+        r)
+      fixtures
+  in
+  let row r =
+    Printf.sprintf
+      "  {\"circuit\": \"%s\", \"metric\": \"%s\", \"threshold\": %g, \
+       \"ands_before\": %d, \"ands_after\": %d, \"applied\": %d, \"sampled\": \
+       %g, \"certified\": %g, \"refinements\": %d, \"sim_s\": %.4f, \
+       \"certify_s\": %.4f, \"closed\": %b}"
+      r.x_circuit r.x_metric r.x_threshold r.x_ands_before r.x_ands_after
+      r.x_applied r.x_sampled r.x_certified r.x_refinements r.x_sim_s
+      r.x_certify_s r.x_closed
+  in
+  let out = open_out "BENCH_maxerr.json" in
+  Printf.fprintf out "{\"mode\": \"%s\", \"rows\": [\n%s\n]}\n"
+    (if smoke_mode then "smoke" else "full")
+    (String.concat ",\n" (List.map row rows));
+  close_out out;
+  Printf.printf "wrote BENCH_maxerr.json\n%!";
+  let unsound =
+    List.exists (fun r -> r.x_closed && r.x_sampled > r.x_certified +. 1e-9) rows
+  in
+  if unsound then begin
+    Printf.eprintf "maxerr bench: a sampled max exceeds its certified bound — UNSOUND\n";
+    exit 1
+  end;
+  if smoke_mode && List.exists (fun r -> not r.x_closed) rows then begin
+    Printf.eprintf "maxerr bench: a smoke-size miter failed to close\n";
+    exit 1
+  end
+
 (* ---------- Driver ---------- *)
 
 let () =
@@ -1021,6 +1147,7 @@ let () =
   | "scoring" -> scoring ()
   | "serve" -> serve_bench ()
   | "explore" -> explore_bench ()
+  | "maxerr" -> maxerr_bench ()
   | "ablations" -> ablations ()
   | "all" ->
       table3 ();
@@ -1033,11 +1160,12 @@ let () =
       pool_bench ();
       scoring ();
       serve_bench ();
-      explore_bench ()
+      explore_bench ();
+      maxerr_bench ()
   | m ->
       Printf.eprintf
         "unknown mode %s \
-         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|serve|explore|all)\n"
+         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|serve|explore|maxerr|all)\n"
         m;
       exit 1);
   Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)

@@ -92,14 +92,56 @@ let opt_cmd spec fraig output =
 let parse_metric m =
   match Errest.Metrics.kind_of_string m with
   | Some k -> Ok k
-  | None -> Error (`Msg (Printf.sprintf "unknown metric %s (er|nmed|mred)" m))
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown metric %s (er|med|nmed|mred|mse|mhd|nmhd|maxed|maxhd|maxred)"
+              m))
 
-let eval_cmd original approx metric sample =
+let parse_distr spec =
+  if String.lowercase_ascii (String.trim spec) = "unif" then Ok Errest.Distr.Unif
+  else
+    match (try Errest.Distr.load spec with Sys_error e -> Error e) with
+    | Ok d -> Ok d
+    | Error e -> Error (`Msg (Printf.sprintf "--distr %s: %s" spec e))
+
+let check_distr_npis distr g =
+  match Errest.Distr.validate_npis distr ~npis:(Aig.Graph.num_pis g) with
+  | Ok () -> Ok ()
+  | Error e -> Error (`Msg e)
+
+(* Rates and normalized distances read naturally as percentages; absolute
+   distances and worst-case bounds do not (a max ED of 3 is not 300%). *)
+let format_metric_value metric v =
+  match metric with
+  | Errest.Metrics.Er | Errest.Metrics.Nmed | Errest.Metrics.Nmhd
+  | Errest.Metrics.Mred ->
+      Printf.sprintf "%.6f%%" (100.0 *. v)
+  | Errest.Metrics.Med | Errest.Metrics.Mse | Errest.Metrics.Mhd
+  | Errest.Metrics.Maxed | Errest.Metrics.Maxhd | Errest.Metrics.Maxred ->
+      Printf.sprintf "%.6f" v
+
+(* Under an enumerated distribution the error is computed exactly over the
+   support with per-row weights; no Monte-Carlo estimate is involved. *)
+let measure_under distr metric ~original ~approx ~sample =
+  match distr with
+  | Errest.Distr.Unif -> Errest.Metrics.evaluate ~sample metric ~original ~approx
+  | Errest.Distr.Enum _ as d ->
+      Errest.Metrics.compare_graphs
+        ?weights:(Errest.Distr.round_weights d)
+        metric ~original ~approx (Errest.Distr.signatures d)
+
+let eval_cmd original approx metric sample distr =
   let* metric = parse_metric metric in
+  let* distr = parse_distr distr in
   let* g0 = load original in
   let* g1 = load approx in
-  let e = Errest.Metrics.evaluate ~sample metric ~original:g0 ~approx:g1 in
-  Printf.printf "%s = %.6f%%\n" (Errest.Metrics.kind_to_string metric) (100.0 *. e);
+  let* () = check_distr_npis distr g0 in
+  let e = measure_under distr metric ~original:g0 ~approx:g1 ~sample in
+  Printf.printf "%s = %s\n"
+    (Errest.Metrics.kind_to_string metric)
+    (format_metric_value metric e);
   Ok ()
 
 (* ---------- approx ---------- *)
@@ -110,11 +152,29 @@ let parse_policy p =
   | None -> Error (`Msg (Printf.sprintf "unknown policy %s (greedy|bandit)" p))
 
 let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
-    resume guard certify jobs policy =
+    resume guard certify jobs policy distr max_error =
   let* metric = parse_metric metric in
+  (* [--max-error E] is worst-case sugar: budget E on the maximum error,
+     defaulting the metric to maxed unless a max metric was named
+     explicitly (maxhd / maxred). *)
+  let* metric, threshold =
+    match max_error with
+    | None -> Ok (metric, threshold)
+    | Some e when e < 0.0 -> Error (`Msg "--max-error must be non-negative")
+    | Some e ->
+        if Errest.Metrics.is_max metric then Ok (metric, e)
+        else Ok (Errest.Metrics.Maxed, e)
+  in
+  let* distr = parse_distr distr in
   let* policy = parse_policy policy in
   let* g = load spec in
   let original = Aig.Graph.compact g in
+  let* () = check_distr_npis distr original in
+  let* () =
+    if Errest.Distr.is_enum distr && method_ <> "alsrac" then
+      Error (`Msg "--distr is only supported with --method alsrac")
+    else Ok ()
+  in
   let t0 = Sys.time () in
   let* () =
     if (journal <> None || resume <> None) && method_ <> "alsrac" then
@@ -145,6 +205,7 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             eval_rounds;
             guard;
             certify_exact = certify;
+            distr;
             jobs = Option.value jobs ~default:1;
             policy = Explore.Policy.make policy }
         in
@@ -163,15 +224,17 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
                 Core.Flow.resume ?jobs ~policy:(Explore.Policy.hook ()) dir
             | None -> Core.Flow.run ?journal ~config g)
         in
-        Printf.printf "alsrac: %d LACs applied%s, sampled %s = %.5f%%\n"
+        Printf.printf "alsrac: %d LACs applied%s, sampled %s = %s\n"
           r.Core.Flow.applied
           (if r.Core.Flow.resumed then " (resumed)" else "")
           (Errest.Metrics.kind_to_string metric)
-          (100.0 *. r.Core.Flow.final_est_error);
-        (match r.Core.Flow.certified_upper with
-        | Some u ->
-            Printf.printf "certified %s <= %.5f%% (Hoeffding)\n"
-              (Errest.Metrics.kind_to_string metric) (100.0 *. u)
+          (format_metric_value metric r.Core.Flow.final_est_error);
+        (match r.Core.Flow.certified with
+        | Some c ->
+            Printf.printf "certified %s <= %s (%s)\n"
+              (Errest.Metrics.kind_to_string metric)
+              (format_metric_value metric c.Core.Flow.upper)
+              (Core.Flow.family_to_string c.Core.Flow.family)
         | None -> ());
         (match r.Core.Flow.certify with
         | Some c ->
@@ -228,10 +291,10 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             Baselines.Sasimi.seed; eval_rounds }
         in
         let a, r = Baselines.Sasimi.run ~config g in
-        Printf.printf "sasimi: %d substitutions, sampled %s = %.5f%%\n"
+        Printf.printf "sasimi: %d substitutions, sampled %s = %s\n"
           r.Baselines.Sasimi.applied
           (Errest.Metrics.kind_to_string metric)
-          (100.0 *. r.Baselines.Sasimi.final_est_error);
+          (format_metric_value metric r.Baselines.Sasimi.final_est_error);
         Ok a
     | "mcmc" | "liu" ->
         let config =
@@ -239,10 +302,10 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             Baselines.Mcmc.seed; eval_rounds }
         in
         let a, r = Baselines.Mcmc.run ~config g in
-        Printf.printf "mcmc: %d/%d proposals accepted, sampled %s = %.5f%%\n"
+        Printf.printf "mcmc: %d/%d proposals accepted, sampled %s = %s\n"
           r.Baselines.Mcmc.accepted r.Baselines.Mcmc.proposals_tried
           (Errest.Metrics.kind_to_string metric)
-          (100.0 *. r.Baselines.Mcmc.final_est_error);
+          (format_metric_value metric r.Baselines.Mcmc.final_est_error);
         Ok a
     | m -> Error (`Msg (Printf.sprintf "unknown method %s (alsrac|sasimi|mcmc)" m))
   in
@@ -252,9 +315,12 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
     (100.0 *. float_of_int (Aig.Graph.num_ands approx)
     /. float_of_int (max 1 (Aig.Graph.num_ands original)))
     runtime;
-  let exact = Errest.Metrics.evaluate metric ~original ~approx in
-  Printf.printf "measured %s = %.5f%%\n" (Errest.Metrics.kind_to_string metric)
-    (100.0 *. exact);
+  let exact =
+    measure_under distr metric ~original ~approx ~sample:(1 lsl 17)
+  in
+  Printf.printf "measured %s = %s\n"
+    (Errest.Metrics.kind_to_string metric)
+    (format_metric_value metric exact);
   (match mapping with
   | `None -> ()
   | `Asic ->
@@ -329,11 +395,12 @@ let map_cmd spec target output =
 (* ---------- explore ---------- *)
 
 let explore_cmd dir benchmarks ladder policy seed eval_rounds max_iters shards shard_id
-    jobs quiet =
+    jobs quiet distr =
   let* ladders =
     match Explore.Ladder.parse ladder with Ok l -> Ok l | Error e -> Error (`Msg e)
   in
   let* policy = parse_policy policy in
+  let* distr = parse_distr distr in
   let spec =
     {
       Explore.Sweep.dir;
@@ -349,6 +416,7 @@ let explore_cmd dir benchmarks ladder policy seed eval_rounds max_iters shards s
       shards;
       shard_id;
       jobs;
+      distr;
     }
   in
   let log = if quiet then fun _ -> () else print_endline in
@@ -526,7 +594,20 @@ let output_opt =
 
 let metric_arg =
   Arg.(value & opt string "er" & info [ "m"; "metric" ] ~docv:"METRIC"
-         ~doc:"Error metric: er, nmed or mred.")
+         ~doc:"Error metric: er (error rate), med/nmed (mean/normalized mean \
+               error distance), mred (mean relative error distance), mse \
+               (mean squared error), mhd/nmhd (mean/normalized mean Hamming \
+               distance), or the worst-case metrics maxed, maxhd, maxred \
+               (certified exactly by the error-computation miter).")
+
+let distr_arg =
+  Arg.(value & opt string "unif" & info [ "distr" ] ~docv:"DIST"
+         ~doc:"Input distribution of the error measurement (ResubALS \
+               --distrType): $(b,unif) for uniform inputs, or a pattern file \
+               of `bits weight' lines (one input assignment per line, leftmost \
+               bit = first PI) for an enumerated weighted distribution.  Under \
+               an enumerated distribution the error is computed exactly over \
+               the listed support — no sampling bound is involved.")
 
 let mapping_arg =
   Arg.(value & opt (enum [ ("none", `None); ("asic", `Asic); ("fpga", `Fpga) ]) `None
@@ -572,13 +653,14 @@ let opt_cmd' =
 
 let eval_term =
   Term.(
-    const (fun original approx metric sample ->
-        exits_of_result (eval_cmd original approx metric sample))
+    const (fun original approx metric sample distr ->
+        exits_of_result (eval_cmd original approx metric sample distr))
     $ Arg.(required & pos 0 (some string) None & info [] ~docv:"ORIGINAL")
     $ Arg.(required & pos 1 (some string) None & info [] ~docv:"APPROX")
     $ metric_arg
     $ Arg.(value & opt int (1 lsl 17) & info [ "sample" ] ~docv:"N"
-             ~doc:"Monte-Carlo rounds when exhaustive evaluation is infeasible."))
+             ~doc:"Monte-Carlo rounds when exhaustive evaluation is infeasible.")
+    $ distr_arg)
 
 let eval_cmd' =
   Cmd.v (Cmd.info "eval" ~doc:"Measure the error between two circuits") eval_term
@@ -595,10 +677,10 @@ let approx_term =
   Term.(
     const
       (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
-           guard certify jobs policy ->
+           guard certify jobs policy distr max_error ->
         exits_of_result
           (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
-             journal resume guard certify jobs policy))
+             journal resume guard certify jobs policy distr max_error))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -632,7 +714,15 @@ let approx_term =
                    N > 1 spawns N-1 worker domains.  Results are bit-identical \
                    at every setting, so $(docv) may also differ between a \
                    journaled run and its $(b,--resume).")
-    $ policy_arg)
+    $ policy_arg
+    $ distr_arg
+    $ Arg.(value & opt (some float) None & info [ "max-error" ] ~docv:"E"
+             ~doc:"Worst-case constraint sugar: synthesize under a maximum \
+                   error budget of $(docv), i.e. set the threshold to $(docv) \
+                   and the metric to maxed — unless $(b,--metric) already \
+                   names a worst-case metric (maxhd, maxred), which is kept.  \
+                   Under the uniform distribution the final bound is proven \
+                   by the error-computation miter, not sampled."))
 
 let approx_cmd' =
   Cmd.v (Cmd.info "approx" ~doc:"Approximate logic synthesis under an error constraint")
@@ -674,10 +764,10 @@ let explore_term =
   Term.(
     const
       (fun dir benchmarks ladder policy seed eval_rounds max_iters shards shard_id jobs
-           quiet ->
+           quiet distr ->
         exits_of_result
           (explore_cmd dir benchmarks ladder policy seed eval_rounds max_iters shards
-             shard_id jobs quiet))
+             shard_id jobs quiet distr))
     $ Arg.(required & opt (some string) None & info [ "d"; "dir" ] ~docv:"DIR"
              ~doc:"Sweep directory: manifest, per-point results and Pareto front \
                    files live here.  Restarting onto an existing directory \
@@ -709,7 +799,8 @@ let explore_term =
              ~doc:"Concurrent points in this process (0 detects the core \
                    count).  Each point's flow is sequential, so results do \
                    not depend on $(docv).")
-    $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-point progress lines."))
+    $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-point progress lines.")
+    $ distr_arg)
 
 let explore_cmd' =
   Cmd.v

@@ -29,6 +29,7 @@ type t = {
   max_iters : int;
   margin : float;
   max_seconds : float;
+  distr : Errest.Distr.t;
   input_probs : float array option;
   max_depth_growth : float;
   use_odc : bool;
@@ -57,6 +58,7 @@ let default ~metric ~threshold =
     max_iters = 10_000;
     margin = 1.0;
     max_seconds = infinity;
+    distr = Errest.Distr.Unif;
     input_probs = None;
     max_depth_growth = 1.3;
     use_odc = false;
@@ -71,7 +73,12 @@ let default ~metric ~threshold =
 
 let pp ppf t =
   Format.fprintf ppf
-    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d jobs=%d policy=%s"
+    "metric=%s threshold=%g N=%d L=%d t=%d r=%g eval=%d seed=%d jobs=%d policy=%s \
+     distr=%s"
     (Errest.Metrics.kind_to_string t.metric)
     t.threshold t.sim_rounds t.lac_limit t.patience t.scale t.eval_rounds t.seed
     t.jobs (policy_name t.policy)
+    (match t.distr with
+    | Errest.Distr.Unif -> "unif"
+    | Errest.Distr.Enum { rows; _ } ->
+        Printf.sprintf "enum(%d rows)" (Array.length rows))

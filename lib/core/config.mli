@@ -53,6 +53,13 @@ type t = {
   max_iters : int;  (** safety cap on accepted LACs *)
   margin : float;  (** accept LACs with error <= margin * threshold *)
   max_seconds : float;  (** wall-clock budget; [infinity] = unbounded *)
+  distr : Errest.Distr.t;
+      (** input distribution of the error measurement (ResubALS
+          [--distrType]): [Unif] samples/enumerates uniformly; [Enum]
+          scores candidates on weight-sampled care patterns and evaluates
+          the final error {e exactly} over the enumerated support with
+          per-round weights.  Orthogonal to [input_probs], which only
+          biases care-set sampling for the approximate care set. *)
   input_probs : float array option;
       (** per-PI one-probabilities (Section III-A's user-specified input
           distribution); [None] = uniform *)
@@ -77,7 +84,10 @@ type t = {
           noise) *)
   confidence : float;
       (** confidence for the Hoeffding-certified upper bound on the final
-          sampled error (reported for [Er]; see {!Errest.Certify}) *)
+          sampled error (reported only for [0,1]-bounded mean metrics,
+          {!Errest.Metrics.bounded_mean}; max metrics get an exact miter
+          certificate instead — see {!Errest.Certify} and
+          {!Errest.Maxerr}) *)
   certify_exact : bool;
       (** machine-checked verification of the run's trust assumptions
           (default off): every exact-transform application (inter-iteration

@@ -35,12 +35,21 @@ type policy_report = {
   arm_stats : arm_stat array;
 }
 
+type bound_family = Hoeffding | Exhaustive | Max_miter
+
+type certificate = { upper : float; family : bound_family }
+
+let family_to_string = function
+  | Hoeffding -> "hoeffding"
+  | Exhaustive -> "exhaustive"
+  | Max_miter -> "max-miter"
+
 type report = {
   input_ands : int;
   output_ands : int;
   applied : int;
   final_est_error : float;
-  certified_upper : float option;
+  certified : certificate option;
   final_rounds : int;
   runtime_s : float;
   wall_s : float;
@@ -66,14 +75,20 @@ let optimize (config : Config.t) g =
   | Config.Light -> Aig.Resyn.light g
   | Config.Compress2 -> Aig.Resyn.compress2 g
 
-(* Pattern generation honouring the configured input distribution. *)
+(* Pattern generation honouring the configured input distribution: under an
+   enumerated distribution, care patterns are support rows sampled by
+   weight; under the uniform one, [input_probs] may bias the care set. *)
 let gen_patterns rng (config : Config.t) ~npis ~len =
-  match config.input_probs with
-  | None -> Sim.Patterns.random rng ~npis ~len
-  | Some probs -> Sim.Patterns.weighted rng ~probs ~len
+  match config.distr with
+  | Errest.Distr.Enum _ as d -> Errest.Distr.sample d rng ~npis ~len
+  | Errest.Distr.Unif -> (
+      match config.input_probs with
+      | None -> Sim.Patterns.random rng ~npis ~len
+      | Some probs -> Sim.Patterns.weighted rng ~probs ~len)
 
-(* Evaluation patterns: exhaustive when the input space is small enough and
-   the distribution is uniform, Monte-Carlo otherwise. *)
+(* Uniform-distribution evaluation patterns: exhaustive when the input space
+   is small enough, Monte-Carlo otherwise.  (An enumerated distribution is
+   evaluated on its support instead — see [eval_set].) *)
 let eval_patterns rng (config : Config.t) npis =
   if
     config.input_probs = None
@@ -81,6 +96,15 @@ let eval_patterns rng (config : Config.t) npis =
     && 1 lsl npis <= config.eval_rounds
   then Sim.Patterns.exhaustive ~npis
   else gen_patterns rng config ~npis ~len:config.eval_rounds
+
+(* The evaluation sample and its per-round weights.  Enumerated
+   distributions are evaluated EXACTLY: one round per support row, terms
+   weighted by the row's probability — no Monte-Carlo error at all. *)
+let eval_set rng (config : Config.t) npis =
+  match config.distr with
+  | Errest.Distr.Unif -> (eval_patterns rng config npis, None)
+  | Errest.Distr.Enum _ as d ->
+      (Errest.Distr.signatures d, Errest.Distr.round_weights d)
 
 (* Quarantine key of a node: a hash of its evaluation signature.  The eval
    pattern set is fixed for the whole run, so the key survives the node-id
@@ -107,8 +131,11 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
   let t_start = Sys.time () in
   let w_start = Parallel.Clock.now_s () in
   let npis = Graph.num_pis original in
+  (match Errest.Distr.validate_npis config.distr ~npis with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Flow: " ^ msg));
   let rng0 = Logic.Rng.create config.seed in
-  let eval_pats = eval_patterns (Logic.Rng.split rng0) config npis in
+  let eval_pats, eval_weights = eval_set (Logic.Rng.split rng0) config npis in
   let golden = Sim.Engine.simulate_pos ~pool original eval_pats in
   (* On resume the journal's RNG state supersedes the fresh stream: pattern
      generation continues exactly where the interrupted run left off. *)
@@ -214,7 +241,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
     }
   in
   let measure_error g' =
-    Errest.Metrics.measure config.metric ~golden
+    Errest.Metrics.measure ?weights:eval_weights config.metric ~golden
       ~approx:(Sim.Engine.simulate_pos ~pool g' eval_pats)
   in
   (* The guard: a candidate graph is kept only if it passes the structural
@@ -307,7 +334,10 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
           (fun (lac : Lac.t) -> not (Hashtbl.mem quarantine (sig_hash base_sigs.(lac.Lac.target))))
           lacs
       in
-      let batch = Errest.Batch.create !g ~metric:config.metric ~golden ~base:base_sigs in
+      let batch =
+        Errest.Batch.create ?weights:eval_weights !g ~metric:config.metric ~golden
+          ~base:base_sigs
+      in
       (* Candidate scoring is the hottest loop of a flow iteration: fan it
          across the pool.  [candidate_errors] is bit-identical to the
          sequential scoring at any pool size, so the ranking below — and
@@ -458,42 +488,55 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
                       let recheck_rng =
                         Logic.Rng.create ((config.seed * 1_000_003) + !iteration)
                       in
-                      let pats =
-                        gen_patterns recheck_rng config ~npis
-                          ~len:(max 64 config.eval_rounds)
+                      (* Under an enumerated distribution the recheck is the
+                         exact support measurement itself — any deviation
+                         beyond float-summation noise is a failure. *)
+                      let pats, wts =
+                        match config.distr with
+                        | Errest.Distr.Enum _ as d ->
+                            (Errest.Distr.signatures d, Errest.Distr.round_weights d)
+                        | Errest.Distr.Unif ->
+                            ( gen_patterns recheck_rng config ~npis
+                                ~len:(max 64 config.eval_rounds),
+                              None )
                       in
                       let e2 =
-                        Errest.Metrics.compare_graphs config.metric ~original
-                          ~approx:optimized pats
+                        Errest.Metrics.compare_graphs ?weights:wts config.metric
+                          ~original ~approx:optimized pats
                       in
                       let dev = Float.abs (e2 -. err) in
                       if dev > !cert_lac_maxdev then cert_lac_maxdev := dev;
-                      match config.metric with
-                      | Errest.Metrics.Er | Errest.Metrics.Nmed ->
-                          (* Both estimates concentrate around the true
-                             error; their gap is bounded by the sum of the
-                             two one-sided Hoeffding margins. *)
-                          let n1 =
-                            if Array.length eval_pats > 0 then
-                              Bitvec.length eval_pats.(0)
-                            else max 64 config.eval_rounds
-                          in
-                          let tol =
-                            Errest.Certify.hoeffding_margin ~samples:n1
-                              ~confidence:0.9999
-                            +. Errest.Certify.hoeffding_margin
-                                 ~samples:(max 64 config.eval_rounds)
+                      let fail tol =
+                        if dev > tol then begin
+                          incr cert_lac_failures;
+                          Log.err (fun m ->
+                              m
+                                "certify: LAC on node %d re-simulates at %.6g vs \
+                                 predicted %.6g (tolerance %.3g)"
+                                lac.Lac.target e2 err tol)
+                        end
+                      in
+                      match config.distr with
+                      | Errest.Distr.Enum _ -> fail config.guard_tol
+                      | Errest.Distr.Unif ->
+                          if Errest.Metrics.bounded_mean config.metric then
+                            (* Both estimates concentrate around the true
+                               error; their gap is bounded by the sum of the
+                               two one-sided Hoeffding margins. *)
+                            let n1 =
+                              if Array.length eval_pats > 0 then
+                                Bitvec.length eval_pats.(0)
+                              else max 64 config.eval_rounds
+                            in
+                            fail
+                              (Errest.Certify.hoeffding_margin ~samples:n1
                                  ~confidence:0.9999
-                          in
-                          if dev > tol then begin
-                            incr cert_lac_failures;
-                            Log.err (fun m ->
-                                m
-                                  "certify: LAC on node %d re-simulates at %.6g vs \
-                                   predicted %.6g (tolerance %.3g)"
-                                  lac.Lac.target e2 err tol)
-                          end
-                      | Errest.Metrics.Mred -> ()
+                              +. Errest.Certify.hoeffding_margin
+                                   ~samples:(max 64 config.eval_rounds)
+                                   ~confidence:0.9999)
+                          (* Unbounded means and max metrics admit no such
+                             two-sample tolerance: deviations are recorded
+                             in [lac_max_deviation], not judged. *)
                     end;
                     events :=
                       {
@@ -605,20 +648,55 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
       end
   | Config.No_resyn | Config.Light -> ());
   let final_approx = Sim.Engine.simulate_pos ~pool !g eval_pats in
-  let final_err = Errest.Metrics.measure config.metric ~golden ~approx:final_approx in
+  let final_err =
+    Errest.Metrics.measure ?weights:eval_weights config.metric ~golden
+      ~approx:final_approx
+  in
   let eval_len =
     if Array.length eval_pats > 0 then Bitvec.length eval_pats.(0) else config.eval_rounds
   in
-  let certified_upper =
-    (* Hoeffding needs [0,1]-bounded per-round samples: true for ER (0/1
-       mismatch indicators) and NMED (error distances normalized by the
-       maximum), not for MRED. *)
-    match config.metric with
-    | Errest.Metrics.Er | Errest.Metrics.Nmed ->
-        Some
-          (Errest.Certify.upper_bound ~sampled:final_err ~samples:eval_len
-             ~confidence:config.confidence)
-    | Errest.Metrics.Mred -> None
+  (* The certificate and its bound family.  Each family is only ever claimed
+     where it is sound:
+     - [Exhaustive]: the measurement already covered the whole input space
+       (enumerated support, or exhaustive uniform evaluation) — the sampled
+       value IS the true value;
+     - [Max_miter]: worst-case metrics under the uniform distribution get
+       the exact error-computation-miter certificate ({!Errest.Maxerr});
+     - [Hoeffding]: [0,1]-bounded mean metrics under Monte-Carlo sampling
+       ({!Errest.Metrics.bounded_mean}); NEVER claimed for a max metric,
+       whose sampled value is a lower bound the inequality runs the wrong
+       way for. *)
+  let certified =
+    match config.distr with
+    | Errest.Distr.Enum _ -> Some { upper = final_err; family = Exhaustive }
+    | Errest.Distr.Unif ->
+        if Errest.Metrics.is_max config.metric then begin
+          if Graph.num_pos original > 62 then None
+          else
+            match
+              Errest.Maxerr.certify ~seed:(config.seed + 0x3A7) config.metric
+                ~original ~approx:!g
+            with
+            | Errest.Maxerr.Exact { max; _ } ->
+                Some { upper = max; family = Max_miter }
+            | Errest.Maxerr.Undecided msg ->
+                Log.warn (fun m -> m "max-error certification undecided: %s" msg);
+                None
+        end
+        else if
+          config.input_probs = None
+          && npis <= Sim.Patterns.exhaustive_limit
+          && 1 lsl npis <= config.eval_rounds
+        then Some { upper = final_err; family = Exhaustive }
+        else if Errest.Metrics.bounded_mean config.metric then
+          Some
+            {
+              upper =
+                Errest.Certify.upper_bound ~sampled:final_err ~samples:eval_len
+                  ~confidence:config.confidence;
+              family = Hoeffding;
+            }
+        else None
   in
   ( !g,
     {
@@ -626,7 +704,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
       output_ands = Graph.num_ands !g;
       applied = !applied;
       final_est_error = final_err;
-      certified_upper;
+      certified;
       final_rounds = !rounds;
       runtime_s = Sys.time () -. t_start;
       wall_s = Parallel.Clock.now_s () -. w_start;

@@ -46,9 +46,12 @@ type certify = {
   exact_refuted : int;  (** proven NOT function-preserving — an internal bug *)
   lac_rechecks : int;  (** accepted LACs re-simulated on independent patterns *)
   lac_recheck_failures : int;
-      (** rechecks deviating beyond the two-sample Hoeffding tolerance
-          ([Er]/[Nmed] only; [Mred] deviations are recorded but unbounded
-          per-round samples admit no such tolerance) *)
+      (** rechecks deviating beyond the applicable tolerance: the
+          two-sample Hoeffding tolerance for [0,1]-bounded mean metrics
+          under the uniform distribution, [guard_tol] under an enumerated
+          distribution (both measurements are exact over the support);
+          deviations of unbounded means and max metrics are recorded but
+          not judged — no such tolerance exists for them *)
   lac_max_deviation : float;
       (** largest |recheck - prediction| observed over the run *)
 }
@@ -90,15 +93,38 @@ type stop_reason =
   | Emptied  (** the circuit shrank to constants *)
   | Timed_out  (** the [max_seconds] wall-clock budget ran out *)
 
+type bound_family =
+  | Hoeffding
+      (** statistical upper bound at [Config.confidence], sound only for
+          [0,1]-bounded mean metrics ({!Errest.Metrics.bounded_mean}) under
+          Monte-Carlo uniform sampling *)
+  | Exhaustive
+      (** the evaluation covered the entire input space (enumerated support
+          or exhaustive uniform evaluation): the value is exact *)
+  | Max_miter
+      (** exact worst-case error proven by the error-computation miter
+          ({!Errest.Maxerr}): attained by a witness and proven unbeatable *)
+
+type certificate = {
+  upper : float;  (** certified upper bound on the true error *)
+  family : bound_family;  (** which argument makes the bound sound *)
+}
+
+val family_to_string : bound_family -> string
+
 type report = {
   input_ands : int;
   output_ands : int;
   applied : int;  (** number of accepted LACs *)
   final_est_error : float;  (** error on the flow's evaluation sample *)
-  certified_upper : float option;
-      (** Hoeffding-certified upper bound on the true error at
-          [Config.confidence] ({!Errest.Certify}); [None] for metrics whose
-          per-round samples are not [0,1]-bounded (MRED) *)
+  certified : certificate option;
+      (** certified upper bound on the true error, tagged with the bound
+          family that makes it sound.  [None] when no sound certificate
+          exists: unbounded mean metrics ([Med], [Mse], [Mhd], [Mred])
+          under Monte-Carlo sampling, or a max metric whose miter the
+          bounded CEC portfolio could not close.  A max-metric report never
+          carries a [Hoeffding] certificate — a sampled maximum bounds the
+          truth from below, not above. *)
   final_rounds : int;  (** value of [N] at exit *)
   runtime_s : float;  (** CPU seconds, summed over all domains *)
   wall_s : float;  (** wall-clock seconds (with a pool the two diverge) *)

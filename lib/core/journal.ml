@@ -93,6 +93,7 @@ let config_to_string (c : Config.t) =
   kv "max_iters" (string_of_int c.max_iters);
   kv "margin" (emit_float c.margin);
   kv "max_seconds" (emit_float c.max_seconds);
+  kv "distr" (Errest.Distr.to_string c.distr);
   (match c.input_probs with
   | None -> kv "input_probs" "none"
   | Some probs ->
@@ -161,6 +162,11 @@ let config_of_string ?policy text =
            | "max_iters" -> c := { !c with Config.max_iters = parse_int_exn key value }
            | "margin" -> c := { !c with Config.margin = parse_float_exn key value }
            | "max_seconds" -> c := { !c with Config.max_seconds = parse_float_exn key value }
+           | "distr" -> (
+               match Errest.Distr.of_string value with
+               | Ok d -> c := { !c with Config.distr = d }
+               | Error msg ->
+                   failwith (Printf.sprintf "journal: bad distr: %s" msg))
            | "input_probs" ->
                let probs =
                  if value = "none" then None

@@ -101,7 +101,7 @@ let tail_mask_for ~len ~nwords =
     if used >= Bitvec.word_bits then Bitvec.word_mask else (1 lsl used) - 1
   end
 
-let create g ~metric ~golden ~base =
+let create ?weights g ~metric ~golden ~base =
   if Array.length base <> Graph.num_nodes g then
     invalid_arg "Batch.create: base signatures must cover every node";
   let len = if Array.length base = 0 then 0 else Bitvec.length base.(0) in
@@ -115,7 +115,7 @@ let create g ~metric ~golden ~base =
     len;
     nwords;
     tail_mask = tail_mask_for ~len ~nwords;
-    prepared = Metrics.prepare metric ~golden;
+    prepared = Metrics.prepare ?weights metric ~golden;
     fanout = Fanout.build g;
     base_pos = None;
     inc = None;

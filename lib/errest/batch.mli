@@ -14,6 +14,7 @@
 type t
 
 val create :
+  ?weights:float array ->
   Aig.Graph.t ->
   metric:Metrics.kind ->
   golden:Logic.Bitvec.t array ->
@@ -21,7 +22,10 @@ val create :
   t
 (** [create g ~metric ~golden ~base]: [golden] are the PO signatures of the
     ORIGINAL circuit on the evaluation pattern set, [base] the node
-    signatures of the CURRENT circuit [g] on the same set.  Builds the
+    signatures of the CURRENT circuit [g] on the same set.  [weights] are
+    per-round input-distribution weights (see {!Metrics.prepare}), folded
+    into the prepared metric so every candidate score — incremental or full
+    — is weighted identically.  Builds the
     fanout CSR once; it is rebuilt automatically if [g] is structurally
     mutated later (PO rewiring), but appending nodes after [create]
     invalidates [base] and raises [Invalid_argument] on the next use. *)

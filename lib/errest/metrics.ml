@@ -1,14 +1,45 @@
 module Bitvec = Logic.Bitvec
 
-type kind = Er | Nmed | Mred
+type kind =
+  | Er
+  | Med
+  | Nmed
+  | Mred
+  | Mse
+  | Mhd
+  | Nmhd
+  | Maxed
+  | Maxhd
+  | Maxred
 
-let kind_to_string = function Er -> "er" | Nmed -> "nmed" | Mred -> "mred"
+let kind_to_string = function
+  | Er -> "er"
+  | Med -> "med"
+  | Nmed -> "nmed"
+  | Mred -> "mred"
+  | Mse -> "mse"
+  | Mhd -> "mhd"
+  | Nmhd -> "nmhd"
+  | Maxed -> "maxed"
+  | Maxhd -> "maxhd"
+  | Maxred -> "maxred"
 
 let kind_of_string = function
   | "er" -> Some Er
+  | "med" -> Some Med
   | "nmed" -> Some Nmed
   | "mred" -> Some Mred
+  | "mse" -> Some Mse
+  | "mhd" -> Some Mhd
+  | "nmhd" -> Some Nmhd
+  | "maxed" -> Some Maxed
+  | "maxhd" -> Some Maxhd
+  | "maxred" -> Some Maxred
   | _ -> None
+
+let all_kinds = [ Er; Med; Nmed; Mred; Mse; Mhd; Nmhd; Maxed; Maxhd; Maxred ]
+let is_max = function Maxed | Maxhd | Maxred -> true | _ -> false
+let bounded_mean = function Er | Nmed | Nmhd -> true | _ -> false
 
 let check_shapes golden approx =
   if Array.length golden <> Array.length approx then
@@ -83,6 +114,8 @@ let fold_ed f ~golden ~approx =
 let mean_ed ~golden ~approx =
   fold_ed (fun g a -> float_of_int (abs (g - a))) ~golden ~approx
 
+let med = mean_ed
+
 let nmed ~golden ~approx =
   let o = Array.length golden in
   let maxval = if o = 0 then 1.0 else (2.0 ** float_of_int o) -. 1.0 in
@@ -103,62 +136,164 @@ let worst_case_ed ~golden ~approx =
     !worst
   end
 
-let measure kind ~golden ~approx =
+(* ---------- Per-round term families ----------
+
+   Every value-decoded metric is [aggregate over rounds of
+   term(gv, av) * weight(round)]: the aggregate is either the blocked mean
+   or the maximum, the term is one of the four families below, and the
+   weight bakes together the metric's own normalization and (optionally)
+   the input distribution.  One shared [round_term] is evaluated by both
+   the full and the incremental paths — that single code path is what makes
+   them bit-identical ([Float.equal]). *)
+
+type term_fn = Indicator | Abs_diff | Squared | Hamming
+
+let term fn g a =
+  match fn with
+  | Indicator -> if g = a then 0.0 else 1.0
+  | Abs_diff -> float_of_int (abs (g - a))
+  | Squared ->
+      let d = float_of_int (g - a) in
+      d *. d
+  | Hamming -> float_of_int (Bitvec.popcount_word (g lxor a))
+
+let term_of_kind = function
+  | Er -> Indicator
+  | Med | Nmed | Mred | Maxed | Maxred -> Abs_diff
+  | Mse -> Squared
+  | Mhd | Nmhd | Maxhd -> Hamming
+
+(* Per-round multiplier from the metric's own definition (normalization /
+   relative denominator); the distribution multiplier is folded in by
+   [prepare]. *)
+let metric_weights kind ~npos values =
+  let len = Array.length values in
   match kind with
-  | Er -> er ~golden ~approx
-  | Nmed -> nmed ~golden ~approx
-  | Mred -> mred ~golden ~approx
+  | Er | Med | Mse | Mhd | Maxed | Maxhd -> Array.make len 1.0
+  | Nmed ->
+      let maxval = if npos = 0 then 1.0 else (2.0 ** float_of_int npos) -. 1.0 in
+      Array.make len (1.0 /. maxval)
+  | Nmhd ->
+      let o = if npos = 0 then 1.0 else float_of_int npos in
+      Array.make len (1.0 /. o)
+  | Mred | Maxred ->
+      Array.map (fun g -> 1.0 /. float_of_int (max g 1)) values
 
 type prepared =
   | Prep_er of Bitvec.t array
-  | Prep_ed of {
+  | Prep_mean of {
       golden : Bitvec.t array;
       values : int array;
-      weights : float array;  (** per-round multiplier applied to [|d|] *)
+      weights : float array;  (** per-round multiplier applied to the term *)
+      fn : term_fn;
+    }
+  | Prep_max of {
+      golden : Bitvec.t array;
+      values : int array;
+      weights : float array;  (** metric weight, zeroed off-support rounds *)
+      fn : term_fn;
     }
 
-let prepare kind ~golden =
-  match kind with
-  | Er -> Prep_er golden
-  | Nmed ->
-      let o = Array.length golden in
-      let maxval = if o = 0 then 1.0 else (2.0 ** float_of_int o) -. 1.0 in
-      let values = output_values golden in
-      Prep_ed { golden; values; weights = Array.map (fun _ -> 1.0 /. maxval) values }
-  | Mred ->
-      let values = output_values golden in
-      Prep_ed
-        {
-          golden;
-          values;
-          weights = Array.map (fun g -> 1.0 /. float_of_int (max g 1)) values;
-        }
+let check_distr_weights p ~len =
+  if Array.length p <> len then
+    invalid_arg "Metrics: distribution weight count mismatch";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x < 0.0 then
+        invalid_arg "Metrics: distribution weights must be finite and non-negative")
+    p;
+  let total = Array.fold_left ( +. ) 0.0 p in
+  if total <= 0.0 then invalid_arg "Metrics: distribution weights sum to zero";
+  total
 
-(* Per-round term of the prepared error-distance sum; any change here must
-   be mirrored in the incremental path below (bit-identity invariant). *)
-let ed_term values weights av m =
-  float_of_int (abs (values.(m) - av.(m))) *. weights.(m)
+let prepare ?weights kind ~golden =
+  match (kind, weights) with
+  | Er, None -> Prep_er golden
+  | _ ->
+      let len = num_rounds golden in
+      let values = output_values golden in
+      let npos = Array.length golden in
+      let w = metric_weights kind ~npos values in
+      let fn = term_of_kind kind in
+      if is_max kind then begin
+        (* Under a distribution the maximum ranges over the support only:
+           a zero weight excludes the round, any positive weight keeps the
+           metric weight untouched (worst case is not probability-scaled). *)
+        (match weights with
+        | None -> ()
+        | Some p ->
+            ignore (check_distr_weights p ~len : float);
+            Array.iteri (fun m pm -> if pm <= 0.0 then w.(m) <- 0.0) p);
+        Prep_max { golden; values; weights = w; fn }
+      end
+      else begin
+        (* Weighted mean: the effective multiplier is
+           [metric_w * (p_m / total) * len], so the final division by [len]
+           in the blocked fold yields exactly the probability-weighted mean.
+           Uniform weights over the sample give a multiplier of exactly 1.0,
+           which is why ENUM-with-equal-weights is bit-identical to UNIF. *)
+        (match weights with
+        | None -> ()
+        | Some p ->
+            let total = check_distr_weights p ~len in
+            let scale = float_of_int len /. total in
+            Array.iteri (fun m pm -> w.(m) <- w.(m) *. (pm *. scale)) p);
+        Prep_mean { golden; values; weights = w; fn }
+      end
+
+(* Per-round term of the prepared measurement; any change here must be
+   mirrored in the incremental path below (bit-identity invariant). *)
+let round_term fn values weights av m = term fn values.(m) av.(m) *. weights.(m)
 
 let measure_prepared prep ~approx =
   match prep with
   | Prep_er golden -> er ~golden ~approx
-  | Prep_ed { golden; values; weights } ->
+  | Prep_mean { golden; values; weights; fn } ->
       check_shapes golden approx;
       let len = num_rounds golden in
       if len = 0 then 0.0
       else begin
         let av = output_values approx in
-        sum_blocked len (ed_term values weights av) /. float_of_int len
+        sum_blocked len (round_term fn values weights av) /. float_of_int len
       end
+  | Prep_max { golden; values; weights; fn } ->
+      check_shapes golden approx;
+      let len = num_rounds golden in
+      if len = 0 then 0.0
+      else begin
+        let av = output_values approx in
+        let worst = ref 0.0 in
+        for m = 0 to len - 1 do
+          let t = round_term fn values weights av m in
+          if t > !worst then worst := t
+        done;
+        !worst
+      end
+
+let measure ?weights kind ~golden ~approx =
+  match (weights, kind) with
+  | None, Er -> er ~golden ~approx
+  | None, Nmed -> nmed ~golden ~approx
+  | None, Mred -> mred ~golden ~approx
+  | _ -> measure_prepared (prepare ?weights kind ~golden) ~approx
+
+let mse ~golden ~approx = measure Mse ~golden ~approx
+let mhd ~golden ~approx = measure Mhd ~golden ~approx
+let nmhd ~golden ~approx = measure Nmhd ~golden ~approx
+let max_ed ~golden ~approx = measure Maxed ~golden ~approx
+let max_hd ~golden ~approx = measure Maxhd ~golden ~approx
+let max_red ~golden ~approx = measure Maxred ~golden ~approx
 
 (* ---------- Incremental measurement ----------
 
-   Per-word base contributions so a candidate pays only for the words its
-   change actually reaches.  ER keeps the OR-of-differences per word (an
-   integer, so the delta is exact by construction); NMED/MRED keep the
-   word's partial sum in the blocked order above, so substituting the
-   recomputed words and re-folding all blocks reproduces the full
-   measurement bit-for-bit. *)
+   Per-word base state so a candidate pays only for the words its change
+   actually reaches.  ER keeps the OR-of-differences per word (an integer,
+   so the delta is exact by construction); the mean kinds keep the word's
+   partial sum in the blocked order above, so substituting the recomputed
+   words and re-folding all blocks reproduces the full measurement
+   bit-for-bit; the max kinds keep the word's maximum term, and the
+   maximum of per-word maxima is order-insensitive, so the same
+   substitution argument holds trivially. *)
 
 type incremental =
   | Inc_er of {
@@ -167,15 +302,38 @@ type incremental =
       base_or : int array;  (** per word: OR over POs of golden ^ base *)
       base_pop : int;
     }
-  | Inc_ed of {
+  | Inc_mean of {
       len : int;
       nwords : int;
       npos : int;
       values : int array;  (** decoded golden output values (borrowed) *)
       weights : float array;  (** per-round multipliers (borrowed) *)
+      fn : term_fn;
       base_contrib : float array;  (** per-word partial sums *)
       base_total : float;  (** fold of [base_contrib] in word order *)
     }
+  | Inc_max of {
+      len : int;
+      nwords : int;
+      npos : int;
+      values : int array;
+      weights : float array;
+      fn : term_fn;
+      base_wmax : float array;  (** per-word maximum term *)
+      base_max : float;  (** maximum of [base_wmax] *)
+    }
+
+(* Decode the candidate's output values for the rounds of word [w] into
+   [av.(0 .. nb-1)] (shared scratch, caller-allocated). *)
+let decode_word ~npos ~get_word ~av w ~nb =
+  Array.fill av 0 nb 0;
+  for i = 0 to npos - 1 do
+    let aw = get_word i w in
+    if aw <> 0 then
+      for r = 0 to nb - 1 do
+        av.(r) <- av.(r) lor (((aw lsr r) land 1) lsl i)
+      done
+  done
 
 let prepare_incremental prep ~approx =
   match prep with
@@ -197,7 +355,7 @@ let prepare_incremental prep ~approx =
         base_pop := !base_pop + Bitvec.popcount_word base_or.(w)
       done;
       Inc_er { len; golden_words; base_or; base_pop = !base_pop }
-  | Prep_ed { golden; values; weights } ->
+  | Prep_mean { golden; values; weights; fn } ->
       check_shapes golden approx;
       let len = num_rounds golden in
       let nwords = if len = 0 then 0 else Bitvec.num_words golden.(0) in
@@ -208,7 +366,7 @@ let prepare_incremental prep ~approx =
         let hi = min len (lo + Bitvec.word_bits) in
         let wacc = ref 0.0 in
         for m = lo to hi - 1 do
-          wacc := !wacc +. ed_term values weights av m
+          wacc := !wacc +. round_term fn values weights av m
         done;
         base_contrib.(w) <- !wacc
       done;
@@ -216,22 +374,55 @@ let prepare_incremental prep ~approx =
       for w = 0 to nwords - 1 do
         base_total := !base_total +. base_contrib.(w)
       done;
-      Inc_ed
+      Inc_mean
         {
           len;
           nwords;
           npos = Array.length golden;
           values;
           weights;
+          fn;
           base_contrib;
           base_total = !base_total;
+        }
+  | Prep_max { golden; values; weights; fn } ->
+      check_shapes golden approx;
+      let len = num_rounds golden in
+      let nwords = if len = 0 then 0 else Bitvec.num_words golden.(0) in
+      let av = output_values approx in
+      let base_wmax = Array.make nwords 0.0 in
+      for w = 0 to nwords - 1 do
+        let lo = w * Bitvec.word_bits in
+        let hi = min len (lo + Bitvec.word_bits) in
+        let wmax = ref 0.0 in
+        for m = lo to hi - 1 do
+          let t = round_term fn values weights av m in
+          if t > !wmax then wmax := t
+        done;
+        base_wmax.(w) <- !wmax
+      done;
+      let base_max = ref 0.0 in
+      for w = 0 to nwords - 1 do
+        if base_wmax.(w) > !base_max then base_max := base_wmax.(w)
+      done;
+      Inc_max
+        {
+          len;
+          nwords;
+          npos = Array.length golden;
+          values;
+          weights;
+          fn;
+          base_wmax;
+          base_max = !base_max;
         }
 
 let incremental_base = function
   | Inc_er { len; base_pop; _ } ->
       if len = 0 then 0.0 else float_of_int base_pop /. float_of_int len
-  | Inc_ed { len; base_total; _ } ->
+  | Inc_mean { len; base_total; _ } ->
       if len = 0 then 0.0 else base_total /. float_of_int len
+  | Inc_max { len; base_max; _ } -> if len = 0 then 0.0 else base_max
 
 let measure_incremental inc ~nchanged ~changed_words ~get_word =
   match inc with
@@ -251,7 +442,7 @@ let measure_incremental inc ~nchanged ~changed_words ~get_word =
         done;
         float_of_int (base_pop + !delta) /. float_of_int len
       end
-  | Inc_ed { len; nwords; npos; values; weights; base_contrib; _ } ->
+  | Inc_mean { len; nwords; npos; values; weights; fn; base_contrib; _ } ->
       if len = 0 then 0.0
       else begin
         (* Recompute the contribution of each changed word (decoding output
@@ -263,18 +454,10 @@ let measure_incremental inc ~nchanged ~changed_words ~get_word =
           let lo = w * Bitvec.word_bits in
           let hi = min len (lo + Bitvec.word_bits) in
           let nb = hi - lo in
-          Array.fill av 0 nb 0;
-          for i = 0 to npos - 1 do
-            let aw = get_word i w in
-            if aw <> 0 then
-              for r = 0 to nb - 1 do
-                av.(r) <- av.(r) lor (((aw lsr r) land 1) lsl i)
-              done
-          done;
+          decode_word ~npos ~get_word ~av w ~nb;
           let wacc = ref 0.0 in
           for m = lo to hi - 1 do
-            wacc :=
-              !wacc +. (float_of_int (abs (values.(m) - av.(m - lo))) *. weights.(m))
+            wacc := !wacc +. (term fn values.(m) av.(m - lo) *. weights.(m))
           done;
           new_contrib.(k) <- !wacc
         done;
@@ -292,15 +475,47 @@ let measure_incremental inc ~nchanged ~changed_words ~get_word =
         done;
         !total /. float_of_int len
       end
+  | Inc_max { len; nwords; npos; values; weights; fn; base_wmax; _ } ->
+      if len = 0 then 0.0
+      else begin
+        let av = Array.make Bitvec.word_bits 0 in
+        let new_wmax = Array.make (max 1 nchanged) 0.0 in
+        for k = 0 to nchanged - 1 do
+          let w = changed_words.(k) in
+          let lo = w * Bitvec.word_bits in
+          let hi = min len (lo + Bitvec.word_bits) in
+          let nb = hi - lo in
+          decode_word ~npos ~get_word ~av w ~nb;
+          let wmax = ref 0.0 in
+          for m = lo to hi - 1 do
+            let t = term fn values.(m) av.(m - lo) *. weights.(m) in
+            if t > !wmax then wmax := t
+          done;
+          new_wmax.(k) <- !wmax
+        done;
+        let worst = ref 0.0 and k = ref 0 in
+        for w = 0 to nwords - 1 do
+          let c =
+            if !k < nchanged && changed_words.(!k) = w then begin
+              let c = new_wmax.(!k) in
+              incr k;
+              c
+            end
+            else base_wmax.(w)
+          in
+          if c > !worst then worst := c
+        done;
+        !worst
+      end
 
-let compare_graphs kind ~original ~approx patterns =
+let compare_graphs ?weights kind ~original ~approx patterns =
   if Aig.Graph.num_pis original <> Aig.Graph.num_pis approx then
     invalid_arg "Metrics.compare_graphs: PI count mismatch";
   if Aig.Graph.num_pos original <> Aig.Graph.num_pos approx then
     invalid_arg "Metrics.compare_graphs: PO count mismatch";
   let golden = Sim.Engine.simulate_pos original patterns in
   let approx = Sim.Engine.simulate_pos approx patterns in
-  measure kind ~golden ~approx
+  measure ?weights kind ~golden ~approx
 
 let evaluate ?(seed = 20260705) ?(sample = 1 lsl 17) kind ~original ~approx =
   let npis = Aig.Graph.num_pis original in

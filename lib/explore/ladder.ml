@@ -11,17 +11,39 @@ let defaults =
 
 let ( let* ) = Result.bind
 
-let parse_budget s =
+(* Rates and normalized distances live in (0, 1]; the remaining metrics
+   (absolute distances and all worst-case bounds) are only required to be
+   positive and finite — a max-ED budget of 3 on an adder is perfectly
+   meaningful. *)
+let rate_like = function
+  | Errest.Metrics.Er | Errest.Metrics.Nmed | Errest.Metrics.Nmhd
+  | Errest.Metrics.Mred ->
+      true
+  | Errest.Metrics.Med | Errest.Metrics.Mse | Errest.Metrics.Mhd
+  | Errest.Metrics.Maxed | Errest.Metrics.Maxhd | Errest.Metrics.Maxred ->
+      false
+
+let parse_budget ~metric s =
   match float_of_string_opt (String.trim s) with
-  | Some b when b > 0.0 && b <= 1.0 -> Ok b
-  | Some b -> Error (Printf.sprintf "budget %g out of (0, 1]" b)
+  | Some b when b > 0.0 && (if rate_like metric then b <= 1.0 else b < infinity)
+    ->
+      Ok b
+  | Some b ->
+      if rate_like metric then
+        Error
+          (Printf.sprintf "budget %g out of (0, 1] for %s" b
+             (Errest.Metrics.kind_to_string metric))
+      else
+        Error
+          (Printf.sprintf "budget %g for %s must be positive and finite" b
+             (Errest.Metrics.kind_to_string metric))
   | None -> Error (Printf.sprintf "bad budget %S" s)
 
-let rec parse_budgets = function
+let rec parse_budgets ~metric = function
   | [] -> Ok []
   | s :: rest ->
-      let* b = parse_budget s in
-      let* bs = parse_budgets rest in
+      let* b = parse_budget ~metric s in
+      let* bs = parse_budgets ~metric rest in
       Ok (b :: bs)
 
 let ascending bs =
@@ -38,9 +60,13 @@ let parse_group g =
       let mname = String.trim (String.sub g 0 i) in
       let rest = String.sub g (i + 1) (String.length g - i - 1) in
       match Errest.Metrics.kind_of_string mname with
-      | None -> Error (Printf.sprintf "unknown metric %S (er|nmed|mred)" mname)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown metric %S (er|med|nmed|mred|mse|mhd|nmhd|maxed|maxhd|maxred)"
+               mname)
       | Some metric ->
-          let* budgets = parse_budgets (String.split_on_char ',' rest) in
+          let* budgets = parse_budgets ~metric (String.split_on_char ',' rest) in
           if budgets = [] then Error (Printf.sprintf "empty ladder for %s" mname)
           else if not (ascending budgets) then
             Error (Printf.sprintf "budgets for %s must be strictly ascending" mname)

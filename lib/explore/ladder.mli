@@ -11,7 +11,11 @@
 
 type t = {
   metric : Errest.Metrics.kind;
-  budgets : float list;  (** ascending, each in (0, 1] *)
+  budgets : float list;
+      (** ascending; each in (0, 1] for rate-like metrics (ER and the
+          normalized/relative distances), merely positive and finite for
+          absolute distances and the worst-case metrics — a max-ED ladder
+          of [1,3,7] is legal *)
 }
 
 val defaults : t list

@@ -5,6 +5,7 @@ type manifest = {
   seed : int;
   eval_rounds : int;
   max_iters : int;
+  distr : Errest.Distr.t;
 }
 
 type result = {
@@ -81,6 +82,7 @@ let manifest_to_string m =
         ("seed", string_of_int m.seed);
         ("eval_rounds", string_of_int m.eval_rounds);
         ("max_iters", string_of_int m.max_iters);
+        ("distr", Errest.Distr.to_string m.distr);
       ]
 
 let manifest_of_string text =
@@ -108,6 +110,15 @@ let manifest_of_string text =
         seed = int_field ~what kvs "seed";
         eval_rounds = int_field ~what kvs "eval_rounds";
         max_iters = int_field ~what kvs "max_iters";
+        distr =
+          (* Manifests written before the distribution axis existed carry
+             no [distr] key: those sweeps were uniform. *)
+          (match List.assoc_opt "distr" kvs with
+          | None -> Errest.Distr.Unif
+          | Some v -> (
+              match Errest.Distr.of_string v with
+              | Ok d -> d
+              | Error e -> failwith (Printf.sprintf "%s: bad distr: %s" what e)));
       }
   | _ -> failwith (Printf.sprintf "%s: not an %s file" what format_line)
 

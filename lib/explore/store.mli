@@ -27,6 +27,10 @@ type manifest = {
   seed : int;  (** base seed; point [i] runs the flow with [seed + i] *)
   eval_rounds : int;
   max_iters : int;
+  distr : Errest.Distr.t;
+      (** input distribution every point's flow measures error under;
+          persisted with {!Errest.Distr.to_string} (manifests predating
+          the field read back as [Unif]) *)
 }
 
 type result = {

@@ -9,6 +9,7 @@ type spec = {
   shards : int;
   shard_id : int;
   jobs : int;
+  distr : Errest.Distr.t;
 }
 
 type item = {
@@ -67,6 +68,7 @@ let run_point (m : Store.manifest) (it : item) =
       eval_rounds = m.eval_rounds;
       max_iters = m.max_iters;
       policy = Policy.make m.policy;
+      distr = m.distr;
       jobs = 1;
     }
   in
@@ -112,14 +114,33 @@ let run ?(log = fun _ -> ()) spec =
         seed = spec.seed;
         eval_rounds = spec.eval_rounds;
         max_iters = spec.max_iters;
+        distr = spec.distr;
       }
   in
   (* The persisted manifest supersedes the command line (it may come
      from an interrupted run with different flags) — so its benchmark
      names must be re-validated, not trusted. *)
   let* () = validate_benchmarks m.Store.benchmarks in
-  if m.Store.benchmarks <> spec.benchmarks || m.Store.ladders <> spec.ladders then
-    log "resuming: existing manifest supersedes the command line";
+  (* An enumerated distribution fixes a PI count; every benchmark of the
+     (possibly resumed) manifest must match it, or run_point would raise
+     mid-sweep. *)
+  let* () =
+    let rec check = function
+      | [] -> Ok ()
+      | bench :: rest -> (
+          let entry = Option.get (Circuits.Suite.find bench) in
+          let npis = Aig.Graph.num_pis (entry.Circuits.Suite.build ()) in
+          match Errest.Distr.validate_npis m.Store.distr ~npis with
+          | Ok () -> check rest
+          | Error e -> Error (Printf.sprintf "benchmark %s: %s" bench e))
+    in
+    check m.Store.benchmarks
+  in
+  if
+    m.Store.benchmarks <> spec.benchmarks
+    || m.Store.ladders <> spec.ladders
+    || not (Errest.Distr.equal m.Store.distr spec.distr)
+  then log "resuming: existing manifest supersedes the command line";
   let items = work_list m in
   let total = Array.length items in
   let done0 = Store.completed ~dir:spec.dir ~total in

@@ -28,6 +28,10 @@ type spec = {
   shards : int;
   shard_id : int;
   jobs : int;  (** concurrent points in this process; 0 = core count *)
+  distr : Errest.Distr.t;
+      (** input distribution for every point's error measurement; an
+          enumerated distribution must match each benchmark's PI count
+          (validated before any point runs) *)
 }
 
 type item = {

@@ -134,6 +134,33 @@ let test_ladder_roundtrip_and_rejects () =
       | Error _ -> ())
     [ "er=0.05,0.01"; "er=0"; "er=2.0"; "banana=0.1"; "er=0.01;er=0.05"; "er=" ]
 
+let test_ladder_max_budgets () =
+  (* Worst-case and absolute-distance ladders are not rate-like: budgets
+     above 1 are legal (a max-ED ladder of 1,3,7), zero is not, and the
+     rate-like metrics keep their (0, 1] range. *)
+  (match Explore.Ladder.parse "maxed=1,3,7" with
+  | Ok [ l ] ->
+      check "maxed metric" true (l.Explore.Ladder.metric = Errest.Metrics.Maxed);
+      check "budgets kept" true (l.Explore.Ladder.budgets = [ 1.0; 3.0; 7.0 ])
+  | Ok _ -> Alcotest.fail "expected one ladder"
+  | Error e -> Alcotest.fail e);
+  (match Explore.Ladder.parse "mse=0.5,2.5;maxhd=2" with
+  | Ok [ _; _ ] -> ()
+  | Ok _ -> Alcotest.fail "expected two ladders"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Explore.Ladder.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted bad spec %S" bad)
+      | Error _ -> ())
+    [ "maxed=0"; "maxed=3,1"; "maxed=1,1"; "nmhd=1.5"; "maxred=inf"; "mhd=-1" ];
+  match Explore.Ladder.parse "maxed=1,3,7;maxred=0.5,2" with
+  | Ok ls -> (
+      match Explore.Ladder.parse (Explore.Ladder.to_spec ls) with
+      | Ok ls' -> check "max ladders round-trip through hex spec" true (ls = ls')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
 (* ---------- Policy ---------- *)
 
 let test_policy_classify_bounds () =
@@ -251,6 +278,7 @@ let tiny_spec dir =
     shards = 1;
     shard_id = 0;
     jobs = 1;
+    distr = Errest.Distr.Unif;
   }
 
 let read_file path =
@@ -311,27 +339,97 @@ let test_sweep_rejects () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted an unknown benchmark"
 
+(* ---------- Sweep: worst-case ladders and enumerated distributions ---------- *)
+
+let maxed_spec dir =
+  {
+    (tiny_spec dir) with
+    Explore.Sweep.benchmarks = [ "ctrl" ];
+    ladders =
+      [ { Explore.Ladder.metric = Errest.Metrics.Maxed; budgets = [ 1.0; 3.0; 7.0 ] } ];
+    eval_rounds = 256;
+  }
+
+let test_sweep_maxed_shard_and_jobs_invariance () =
+  (* The determinism contract must hold for a worst-case-error sweep too:
+     fronts byte-identical across shard splits and pool sizes. *)
+  let ref_dir = fresh_dir () in
+  let p = run_spec (maxed_spec ref_dir) in
+  check_int "three points" 3 p.Explore.Sweep.total;
+  let reference = front_files ref_dir in
+  check "maxed fronts written" true (reference <> []);
+  let sharded = fresh_dir () in
+  let _ = run_spec { (maxed_spec sharded) with Explore.Sweep.shards = 3; shard_id = 2 } in
+  let _ = run_spec { (maxed_spec sharded) with Explore.Sweep.shards = 3; shard_id = 0 } in
+  let _ = run_spec { (maxed_spec sharded) with Explore.Sweep.shards = 3; shard_id = 1 } in
+  check "sharded maxed fronts byte-identical" true (front_files sharded = reference);
+  let jobs2 = fresh_dir () in
+  let _ = run_spec { (maxed_spec jobs2) with Explore.Sweep.jobs = 2 } in
+  check "jobs=2 maxed fronts byte-identical" true (front_files jobs2 = reference)
+
+(* 16 support rows over ctrl's 7 inputs, weights cycling 1..4. *)
+let enum_distr_7pis =
+  Errest.Distr.enum
+    ~rows:(Array.init 16 (fun m -> Array.init 7 (fun i -> ((m * 37) lsr i) land 1 = 1)))
+    ~weights:(Array.init 16 (fun m -> 1.0 +. float_of_int (m mod 4)))
+
+let test_sweep_enum_distr_manifest () =
+  let dir = fresh_dir () in
+  let spec =
+    { (tiny_spec dir) with Explore.Sweep.benchmarks = [ "ctrl" ]; distr = enum_distr_7pis }
+  in
+  let p = run_spec spec in
+  check_int "all points ran" p.Explore.Sweep.total p.Explore.Sweep.ran;
+  (* The distribution is part of the manifest and round-trips bit-exactly. *)
+  (match Explore.Store.load_manifest dir with
+  | Some m ->
+      check "manifest distr round-trips" true
+        (Errest.Distr.equal m.Explore.Store.distr enum_distr_7pis)
+  | None -> Alcotest.fail "no manifest written");
+  let fronts = front_files dir in
+  (* Resume with a DIFFERENT command-line distribution: the stored manifest
+     supersedes it — nothing re-runs, fronts stay byte-identical. *)
+  let p2 = run_spec { spec with Explore.Sweep.distr = Errest.Distr.Unif } in
+  check_int "nothing re-ran" 0 p2.Explore.Sweep.ran;
+  check "fronts unchanged" true (front_files dir = fronts)
+
+let test_sweep_enum_distr_rejects_width_mismatch () =
+  match
+    Explore.Sweep.run
+      {
+        (tiny_spec (fresh_dir ())) with
+        Explore.Sweep.benchmarks = [ "ctrl"; "int2float" ];
+        distr = enum_distr_7pis;
+      }
+  with
+  | Error e ->
+      check "names the offending benchmark" true
+        (String.length e >= 9 && String.sub e 0 9 = "benchmark")
+  | Ok _ -> Alcotest.fail "accepted an 11-PI benchmark under a 7-PI distribution"
+
 (* ---------- CLI: SIGKILL mid-corpus, resume with different sharding ---------- *)
 
 let alsrac_exe =
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/alsrac.exe"
 
-let explore_argv dir ~shards ~shard_id =
-  [| alsrac_exe; "explore"; "--dir"; dir; "--benchmarks"; "ctrl,int2float";
-     "--ladder"; "er=0.005,0.01,0.02,0.05"; "--eval-rounds"; "512";
+let explore_argv dir ~benchmarks ~ladder ~shards ~shard_id =
+  [| alsrac_exe; "explore"; "--dir"; dir; "--benchmarks"; benchmarks;
+     "--ladder"; ladder; "--eval-rounds"; "512";
      "--max-iters"; "8"; "--shards"; string_of_int shards; "--shard-id";
      string_of_int shard_id; "--quiet" |]
 
-let spawn_explore dir ~shards ~shard_id =
+let spawn_explore dir ~benchmarks ~ladder ~shards ~shard_id =
   let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let pid =
-    Unix.create_process alsrac_exe (explore_argv dir ~shards ~shard_id) null null null
+    Unix.create_process alsrac_exe
+      (explore_argv dir ~benchmarks ~ladder ~shards ~shard_id)
+      null null null
   in
   Unix.close null;
   pid
 
-let run_explore_blocking dir ~shards ~shard_id =
-  let pid = spawn_explore dir ~shards ~shard_id in
+let run_explore_blocking dir ~benchmarks ~ladder ~shards ~shard_id =
+  let pid = spawn_explore dir ~benchmarks ~ladder ~shards ~shard_id in
   match Unix.waitpid [] pid with
   | _, Unix.WEXITED 0 -> ()
   | _, _ -> Alcotest.fail "alsrac explore exited non-zero"
@@ -352,15 +450,23 @@ let wait_for_some_point dir ~timeout_s =
   in
   go ()
 
+let compare_front_files reference dir =
+  List.iter2
+    (fun (name_a, bytes_a) (name_b, bytes_b) ->
+      check_str "front file name" name_a name_b;
+      check_str (Printf.sprintf "front bytes of %s" name_a) bytes_a bytes_b)
+    reference (front_files dir)
+
 let test_cli_kill_and_resume_across_shards () =
+  let benchmarks = "ctrl,int2float" and ladder = "er=0.005,0.01,0.02,0.05" in
   (* Uninterrupted reference sweep. *)
   let ref_dir = fresh_dir () in
-  run_explore_blocking ref_dir ~shards:1 ~shard_id:0;
+  run_explore_blocking ref_dir ~benchmarks ~ladder ~shards:1 ~shard_id:0;
   let reference = front_files ref_dir in
   check "reference produced fronts" true (reference <> []);
   (* Kill a fresh sweep mid-corpus (as soon as the first point lands)... *)
   let dir = fresh_dir () in
-  let pid = spawn_explore dir ~shards:1 ~shard_id:0 in
+  let pid = spawn_explore dir ~benchmarks ~ladder ~shards:1 ~shard_id:0 in
   let saw_point = wait_for_some_point dir ~timeout_s:60.0 in
   Unix.kill pid Sys.sigkill;
   ignore (Unix.waitpid [] pid);
@@ -370,14 +476,31 @@ let test_cli_kill_and_resume_across_shards () =
   (* ... and resume it under a different sharding: two processes, one per
      shard.  The completed set must converge and the final front files be
      byte-identical to the uninterrupted run's. *)
-  run_explore_blocking dir ~shards:2 ~shard_id:0;
-  run_explore_blocking dir ~shards:2 ~shard_id:1;
+  run_explore_blocking dir ~benchmarks ~ladder ~shards:2 ~shard_id:0;
+  run_explore_blocking dir ~benchmarks ~ladder ~shards:2 ~shard_id:1;
   check_int "all points completed after resume" 8 (npoints dir);
-  List.iter2
-    (fun (name_a, bytes_a) (name_b, bytes_b) ->
-      check_str "front file name" name_a name_b;
-      check_str (Printf.sprintf "front bytes of %s" name_a) bytes_a bytes_b)
-    reference (front_files dir)
+  compare_front_files reference dir
+
+let test_cli_maxed_kill_and_resume () =
+  (* The same SIGKILL discipline for a worst-case-error ladder: a killed
+     max-ED sweep resumed under a different sharding converges to the
+     uninterrupted run's fronts, byte for byte. *)
+  let benchmarks = "ctrl" and ladder = "maxed=1,3,7" in
+  let ref_dir = fresh_dir () in
+  run_explore_blocking ref_dir ~benchmarks ~ladder ~shards:1 ~shard_id:0;
+  let reference = front_files ref_dir in
+  check "reference produced fronts" true (reference <> []);
+  let dir = fresh_dir () in
+  let pid = spawn_explore dir ~benchmarks ~ladder ~shards:1 ~shard_id:0 in
+  let saw_point = wait_for_some_point dir ~timeout_s:60.0 in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  check "a point completed before the kill" true saw_point;
+  run_explore_blocking dir ~benchmarks ~ladder ~shards:2 ~shard_id:0;
+  run_explore_blocking dir ~benchmarks ~ladder ~shards:2 ~shard_id:1;
+  check_int "all points completed after resume" 3
+    (Array.length (Sys.readdir (Filename.concat dir "points")));
+  compare_front_files reference dir
 
 let () =
   Alcotest.run "explore"
@@ -397,6 +520,7 @@ let () =
           Alcotest.test_case "parse" `Quick test_ladder_parse;
           Alcotest.test_case "round-trip and rejects" `Quick
             test_ladder_roundtrip_and_rejects;
+          Alcotest.test_case "worst-case budgets" `Quick test_ladder_max_budgets;
         ] );
       ( "policy",
         [
@@ -415,7 +539,14 @@ let () =
           Alcotest.test_case "shard and jobs invariance" `Slow
             test_sweep_shard_and_jobs_invariance;
           Alcotest.test_case "rejects" `Quick test_sweep_rejects;
+          Alcotest.test_case "maxed shard and jobs invariance" `Slow
+            test_sweep_maxed_shard_and_jobs_invariance;
+          Alcotest.test_case "enum distr manifest" `Slow test_sweep_enum_distr_manifest;
+          Alcotest.test_case "enum distr width mismatch" `Quick
+            test_sweep_enum_distr_rejects_width_mismatch;
           Alcotest.test_case "CLI kill and resume" `Slow
             test_cli_kill_and_resume_across_shards;
+          Alcotest.test_case "CLI maxed kill and resume" `Slow
+            test_cli_maxed_kill_and_resume;
         ] );
     ]
