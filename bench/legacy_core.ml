@@ -1,0 +1,230 @@
+(* Faithful replication of the pre-refactor [Aig.Graph] / [Aig.Fanout] /
+   [Sim.Fraig] hot paths, kept here so `bench/main.exe core` can measure the
+   struct-of-arrays core against the exact code it replaced:
+
+   - strash as a tuple-keyed [Hashtbl] — every [and_] probe allocates the
+     boxed [(a, b)] key and runs the generic hasher;
+   - node-indexed arrays grown independently, one bounds check + grow test
+     per array per append;
+   - [rebuild] allocating a fresh graph, a fresh mapping array and a fresh
+     strash table on every call;
+   - fanout CSR and levels rebuilt from scratch on every request (no
+     revision-stamped view cache);
+   - fraig candidate classes keyed by [Bitvec.to_string] of the
+     phase-canonical signature (allocates the complement vector and an
+     O(rounds) string per node).
+
+   This is benchmark scaffolding, not a supported API. *)
+
+type lit = int
+
+let const0 = 0
+let const1 = 1
+let make_lit id compl = (id * 2) + if compl then 1 else 0
+let node_of l = l lsr 1
+let is_compl l = l land 1 = 1
+let lit_not l = l lxor 1
+let lit_not_cond l c = if c then l lxor 1 else l
+let pi_sentinel = -1
+
+type t = {
+  mutable fanin0 : int array;
+  mutable fanin1 : int array;
+  mutable nnodes : int;
+  mutable pis : int array;
+  mutable npis : int;
+  mutable pi_names : string array;
+  mutable pos : int array;
+  mutable npos : int;
+  mutable po_names : string array;
+  strash : (int * int, int) Hashtbl.t;
+  mutable pi_pos : int array;
+  mutable rev : int;
+}
+
+let create () =
+  let cap = 64 in
+  {
+    fanin0 = Array.make cap pi_sentinel;
+    fanin1 = Array.make cap pi_sentinel;
+    nnodes = 1;
+    pis = Array.make 8 0;
+    npis = 0;
+    pi_names = Array.make 8 "";
+    pos = Array.make 8 0;
+    npos = 0;
+    po_names = Array.make 8 "";
+    strash = Hashtbl.create 1024;
+    pi_pos = Array.make cap (-1);
+    rev = 0;
+  }
+
+let grow_int arr len fill =
+  if len < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max (2 * Array.length arr) (len + 1)) fill in
+    Array.blit arr 0 arr' 0 (Array.length arr);
+    arr'
+  end
+
+let new_node g f0 f1 =
+  let id = g.nnodes in
+  g.fanin0 <- grow_int g.fanin0 id pi_sentinel;
+  g.fanin1 <- grow_int g.fanin1 id pi_sentinel;
+  g.pi_pos <- grow_int g.pi_pos id (-1);
+  g.fanin0.(id) <- f0;
+  g.fanin1.(id) <- f1;
+  g.pi_pos.(id) <- -1;
+  g.nnodes <- id + 1;
+  g.rev <- g.rev + 1;
+  id
+
+let grow_str arr len =
+  if len < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max (2 * Array.length arr) (len + 1)) "" in
+    Array.blit arr 0 arr' 0 (Array.length arr);
+    arr'
+  end
+
+let add_pi ?name g =
+  let id = new_node g pi_sentinel pi_sentinel in
+  let idx = g.npis in
+  g.pis <- grow_int g.pis idx 0;
+  g.pi_names <- grow_str g.pi_names idx;
+  g.pis.(idx) <- id;
+  g.pi_names.(idx) <- (match name with Some n -> n | None -> Printf.sprintf "x%d" idx);
+  g.npis <- idx + 1;
+  g.pi_pos.(id) <- idx;
+  make_lit id false
+
+let and_ g a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const0 then const0
+  else if a = const1 then b
+  else if a = b then a
+  else if a = lit_not b then const0
+  else
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some id -> make_lit id false
+    | None ->
+        let id = new_node g a b in
+        Hashtbl.add g.strash (a, b) id;
+        make_lit id false
+
+let add_po ?name g l =
+  let idx = g.npos in
+  g.pos <- grow_int g.pos idx 0;
+  g.po_names <- grow_str g.po_names idx;
+  g.pos.(idx) <- l;
+  g.po_names.(idx) <- (match name with Some n -> n | None -> Printf.sprintf "y%d" idx);
+  g.npos <- idx + 1;
+  g.rev <- g.rev + 1;
+  idx
+
+let num_nodes g = g.nnodes
+let num_ands g = g.nnodes - 1 - g.npis
+let is_and g id = g.fanin0.(id) <> pi_sentinel
+
+let iter_ands g f =
+  for id = 1 to g.nnodes - 1 do
+    if g.fanin0.(id) <> pi_sentinel then f id
+  done
+
+(* Allocating rebuild, exactly as the old [Graph.rebuild]: fresh graph,
+   fresh mapping, fresh strash table, every call. *)
+let rebuild g =
+  let fresh = create () in
+  let mapping = Array.make g.nnodes (-2) in
+  mapping.(0) <- const0;
+  for i = 0 to g.npis - 1 do
+    mapping.(g.pis.(i)) <- add_pi ~name:g.pi_names.(i) fresh
+  done;
+  let rec copy_lit l = lit_not_cond (copy_node (node_of l)) (is_compl l)
+  and copy_node id =
+    match mapping.(id) with
+    | -3 -> failwith "legacy rebuild: cycle"
+    | -2 ->
+        mapping.(id) <- -3;
+        let result = and_ fresh (copy_lit g.fanin0.(id)) (copy_lit g.fanin1.(id)) in
+        mapping.(id) <- result;
+        result
+    | l -> l
+  in
+  for i = 0 to g.npos - 1 do
+    ignore (add_po ~name:g.po_names.(i) fresh (copy_lit g.pos.(i)))
+  done;
+  fresh
+
+(* Standalone two-pass CSR fanout build, as the old [Aig.Fanout.build]. *)
+let fanout_build g =
+  let n = num_nodes g in
+  let offsets = Array.make (n + 1) 0 in
+  let po_offsets = Array.make (n + 1) 0 in
+  iter_ands g (fun id ->
+      let n0 = node_of g.fanin0.(id) in
+      let n1 = node_of g.fanin1.(id) in
+      offsets.(n0) <- offsets.(n0) + 1;
+      if n1 <> n0 then offsets.(n1) <- offsets.(n1) + 1);
+  for i = 0 to g.npos - 1 do
+    let d = node_of g.pos.(i) in
+    po_offsets.(d) <- po_offsets.(d) + 1
+  done;
+  let acc = ref 0 in
+  for v = 0 to n do
+    let c = offsets.(v) in
+    offsets.(v) <- !acc;
+    acc := !acc + c
+  done;
+  let targets = Array.make !acc 0 in
+  let pacc = ref 0 in
+  for v = 0 to n do
+    let c = po_offsets.(v) in
+    po_offsets.(v) <- !pacc;
+    pacc := !pacc + c
+  done;
+  let po_targets = Array.make !pacc 0 in
+  let cursor = Array.copy offsets in
+  iter_ands g (fun id ->
+      let n0 = node_of g.fanin0.(id) in
+      let n1 = node_of g.fanin1.(id) in
+      targets.(cursor.(n0)) <- id;
+      cursor.(n0) <- cursor.(n0) + 1;
+      if n1 <> n0 then begin
+        targets.(cursor.(n1)) <- id;
+        cursor.(n1) <- cursor.(n1) + 1
+      end);
+  let po_cursor = Array.copy po_offsets in
+  for i = 0 to g.npos - 1 do
+    let d = node_of g.pos.(i) in
+    po_targets.(po_cursor.(d)) <- i;
+    po_cursor.(d) <- po_cursor.(d) + 1
+  done;
+  (offsets, targets, po_offsets, po_targets)
+
+(* Per-call level computation, as the old [Aig.Topo.levels]. *)
+let levels g =
+  let lv = Array.make (num_nodes g) 0 in
+  iter_ands g (fun id ->
+      lv.(id) <- 1 + max lv.(node_of g.fanin0.(id)) lv.(node_of g.fanin1.(id)));
+  lv
+
+(* The old string-keyed fraig classification: phase-canonical signature via a
+   materialized complement, [Bitvec.to_string] as the class key.  Returns the
+   number of classes with at least two members (the work the exact-equality
+   prover would see). *)
+let classify_string ~(sigs : Logic.Bitvec.t array) ~(ids : int array) ~rounds =
+  let classes : (string, (int * bool) list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun id ->
+      let s = sigs.(id) in
+      let phase = rounds > 0 && Logic.Bitvec.get s 0 in
+      let canon = if phase then Logic.Bitvec.lognot s else s in
+      let key = Logic.Bitvec.to_string canon in
+      match Hashtbl.find_opt classes key with
+      | Some l -> l := (id, phase) :: !l
+      | None -> Hashtbl.add classes key (ref [ (id, phase) ]))
+    ids;
+  Hashtbl.fold
+    (fun _ members acc -> if List.length !members >= 2 then acc + 1 else acc)
+    classes 0

@@ -1130,6 +1130,341 @@ let maxerr_bench () =
     exit 1
   end
 
+(* ---------- Core benchmark (DESIGN.md section 14) ----------
+
+   The struct-of-arrays AIG core against the code it replaced, measured on
+   identical operation streams.  [Legacy_core] replicates the pre-refactor
+   hot paths verbatim (tuple-keyed strash Hashtbl, per-array growth,
+   allocating rebuild, per-call CSR/levels, string-keyed fraig classes); the
+   new side is the live [Aig.Graph].  Every workload cross-checks the two
+   cores' results before timing anything, so a speedup can never hide a
+   behavior change.
+
+   Writes BENCH_core.json.  Smoke mode (ALSRAC_BENCH_SMOKE=1, used by CI)
+   shrinks repeat counts and only sanity-checks the speedups; full mode
+   enforces the headline targets (>= 2x construction and rebuild, >= 1.5x
+   clone). *)
+
+type core_row = {
+  k_circuit : string;
+  k_workload : string;
+  k_old_s : float;  (** best-of wall seconds, legacy core *)
+  k_new_s : float;
+  k_speedup : float;
+  k_checked : bool;  (** both cores produced identical results *)
+}
+
+(* A graph as a replayable operation stream.  Node ids ascend in creation
+   order in both cores and the stream is already strashed/normalized, so
+   replaying it assigns every node the same id in either core and literal
+   operands can be reused verbatim. *)
+type trace_op = T_pi | T_and of int * int | T_po of int
+
+let trace_of g =
+  let ops = ref [] in
+  for id = 1 to Graph.num_nodes g - 1 do
+    if Graph.is_pi g id then ops := T_pi :: !ops
+    else ops := T_and (Graph.fanin0 g id, Graph.fanin1 g id) :: !ops
+  done;
+  Graph.iter_pos g (fun _ l -> ops := T_po l :: !ops);
+  Array.of_list (List.rev !ops)
+
+let replay_legacy ops =
+  let g = Legacy_core.create () in
+  Array.iter
+    (function
+      | T_pi -> ignore (Legacy_core.add_pi g)
+      | T_and (a, b) -> ignore (Legacy_core.and_ g a b)
+      | T_po l -> ignore (Legacy_core.add_po g l))
+    ops;
+  g
+
+let replay_new ops =
+  let g = Graph.create () in
+  Array.iter
+    (function
+      | T_pi -> ignore (Graph.add_pi g)
+      | T_and (a, b) -> ignore (Graph.and_ g a b)
+      | T_po l -> ignore (Graph.add_po g l))
+    ops;
+  g
+
+let same_structure lg ng =
+  Legacy_core.num_nodes lg = Graph.num_nodes ng
+  && Legacy_core.num_ands lg = Graph.num_ands ng
+  && begin
+       let ok = ref true in
+       for id = 1 to Graph.num_nodes ng - 1 do
+         if Graph.is_and ng id then begin
+           if
+             (not (Legacy_core.is_and lg id))
+             || Legacy_core.(lg.fanin0.(id)) <> Graph.fanin0 ng id
+             || Legacy_core.(lg.fanin1.(id)) <> Graph.fanin1 ng id
+           then ok := false
+         end
+         else if Legacy_core.is_and lg id then ok := false
+       done;
+       !ok
+     end
+
+(* The new int-keyed fraig classification, replicated from [Sim.Fraig] the
+   same way [old_kernel] above replicates the dense scoring kernel: direct
+   word hashing of the phase-canonical signature, collisions resolved by
+   exact word comparison.  Returns the same count as
+   [Legacy_core.classify_string]. *)
+let classify_int ~(sigs : Logic.Bitvec.t array) ~(ids : int array) ~rounds =
+  let module Bitvec = Logic.Bitvec in
+  let tail =
+    let rem = rounds mod Bitvec.word_bits in
+    if rem = 0 then Bitvec.word_mask else (1 lsl rem) - 1
+  in
+  let canon_hash s invert =
+    let words = Bitvec.unsafe_words s in
+    let nw = Array.length words in
+    let inv = if invert then Bitvec.word_mask else 0 in
+    let h = ref 0 in
+    for i = 0 to nw - 1 do
+      let w = words.(i) lxor inv in
+      let w = if i = nw - 1 then w land tail else w in
+      h := (!h * 0x9E3779B1) lxor w
+    done;
+    let h = !h lxor (!h lsr 16) in
+    h * 0x85EBCA77 land max_int
+  in
+  let canon_equal a inva b invb =
+    let wa = Bitvec.unsafe_words a and wb = Bitvec.unsafe_words b in
+    let nw = Array.length wa in
+    let eq = ref true in
+    let i = ref 0 in
+    if inva = invb then
+      while !eq && !i < nw do
+        if wa.(!i) <> wb.(!i) then eq := false;
+        incr i
+      done
+    else
+      while !eq && !i < nw do
+        let m = if !i = nw - 1 then tail else Bitvec.word_mask in
+        if wa.(!i) lxor wb.(!i) <> m then eq := false;
+        incr i
+      done;
+    !eq
+  in
+  let classes :
+      (int, (Bitvec.t * bool * (int * bool) list ref) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Array.iter
+    (fun id ->
+      let s = sigs.(id) in
+      let phase = rounds > 0 && Bitvec.get s 0 in
+      let h = canon_hash s phase in
+      match Hashtbl.find_opt classes h with
+      | None -> Hashtbl.add classes h (ref [ (s, phase, ref [ (id, phase) ]) ])
+      | Some bucket -> (
+          match
+            List.find_opt (fun (rs, rp, _) -> canon_equal s phase rs rp) !bucket
+          with
+          | Some (_, _, members) -> members := (id, phase) :: !members
+          | None -> bucket := (s, phase, ref [ (id, phase) ]) :: !bucket))
+    ids;
+  Hashtbl.fold
+    (fun _ bucket acc ->
+      List.fold_left
+        (fun acc (_, _, members) ->
+          if List.length !members >= 2 then acc + 1 else acc)
+        acc !bucket)
+    classes 0
+
+let core_rows (e : Circuits.Suite.entry) =
+  let src = Graph.compact (e.Circuits.Suite.build ()) in
+  let name = e.Circuits.Suite.name in
+  let ops = trace_of src in
+  let repeats = if smoke_mode then 3 else 5 in
+  let iters = if smoke_mode then 20 else 100 in
+  let lg = replay_legacy ops in
+  let ng = replay_new ops in
+  let structure_ok = same_structure lg ng in
+  let row workload ~checked old_f new_f =
+    let t_old = time_scoring ~repeats (fun () -> for _ = 1 to iters do old_f () done) in
+    let t_new = time_scoring ~repeats (fun () -> for _ = 1 to iters do new_f () done) in
+    {
+      k_circuit = name;
+      k_workload = workload;
+      k_old_s = t_old;
+      k_new_s = t_new;
+      k_speedup = t_old /. Float.max 1e-12 t_new;
+      k_checked = checked;
+    }
+  in
+  (* Construction: the full append stream into a fresh core, strash misses
+     throughout. *)
+  let construction =
+    row "construction" ~checked:structure_ok
+      (fun () -> ignore (replay_legacy ops))
+      (fun () -> ignore (replay_new ops))
+  in
+  (* Strash hits: re-issue every AND of the built graph; every probe is a
+     table hit, no node is created. *)
+  let hit_legacy () =
+    let acc = ref 0 in
+    Array.iter
+      (function T_and (a, b) -> acc := !acc lxor Legacy_core.and_ lg a b | _ -> ())
+      ops;
+    ignore !acc
+  and hit_new () =
+    let acc = ref 0 in
+    Array.iter
+      (function T_and (a, b) -> acc := !acc lxor Graph.and_ ng a b | _ -> ())
+      ops;
+    ignore !acc
+  in
+  let nodes_before = Graph.num_nodes ng in
+  hit_legacy ();
+  hit_new ();
+  let hits_ok = Graph.num_nodes ng = nodes_before && Legacy_core.num_nodes lg = nodes_before in
+  let strash_hit = row "strash-hit" ~checked:hits_ok hit_legacy hit_new in
+  (* Rebuild: allocating legacy rebuild vs the arena-backed [rebuild_with]
+     recycling both the mapping scratch and the destination graph. *)
+  let rb = Graph.rebuilder () in
+  let rebuild_ok =
+    Legacy_core.num_ands (Legacy_core.rebuild lg) = Graph.num_ands (Graph.rebuild src)
+    &&
+    let r = Graph.rebuild_with rb src in
+    let same =
+      Circuit_io.Aiger.graph_to_string r
+      = Circuit_io.Aiger.graph_to_string (Graph.rebuild src)
+    in
+    Graph.recycle rb r;
+    same
+  in
+  let rebuild =
+    row "rebuild" ~checked:rebuild_ok
+      (fun () -> ignore (Legacy_core.rebuild lg))
+      (fun () ->
+        let r = Graph.rebuild_with rb src in
+        Graph.recycle rb r)
+  in
+  (* Derived views, cold: legacy rebuilds the CSR and the level array on
+     every request; the new core recomputes the whole view bundle once per
+     revision (here forced stale each iteration via a PO rewire). *)
+  let v = Graph.views src in
+  let lv_old = Legacy_core.levels lg in
+  let off_old, tgt_old, _, _ = Legacy_core.fanout_build lg in
+  let views_ok =
+    lv_old = Array.sub v.Graph.v_levels 0 (Graph.num_nodes src)
+    && off_old = v.Graph.v_offsets && tgt_old = v.Graph.v_targets
+  in
+  let views_cold =
+    row "views-cold" ~checked:views_ok
+      (fun () ->
+        ignore (Legacy_core.fanout_build lg);
+        ignore (Legacy_core.levels lg))
+      (fun () ->
+        (* Same-literal PO rewire: structurally a no-op, but it bumps the
+           revision and invalidates the cached bundle. *)
+        Graph.set_po src 0 (Graph.po_lit src 0);
+        ignore (Graph.views src))
+  in
+  (* Derived views, warm: what a consumer actually pays per query — the old
+     code rebuilt per call, the new one returns the cached bundle. *)
+  let views_warm =
+    row "views-warm" ~checked:views_ok
+      (fun () ->
+        ignore (Legacy_core.fanout_build lg);
+        ignore (Legacy_core.levels lg))
+      (fun () -> ignore (Graph.views src))
+  in
+  (* Clone: the old core's only way to an independent copy was a full
+     strash-re-inserting rebuild; the new one blits the arrays. *)
+  let clone_ok =
+    Circuit_io.Aiger.graph_to_string (Graph.clone src)
+    = Circuit_io.Aiger.graph_to_string src
+  in
+  let clone =
+    row "clone" ~checked:clone_ok
+      (fun () -> ignore (Legacy_core.rebuild lg))
+      (fun () -> ignore (Graph.clone src))
+  in
+  (* Fraig classification over real simulation signatures: string-keyed
+     (materialized complement + O(rounds) key per node) vs direct word
+     hashing. *)
+  let rounds = if smoke_mode then 256 else 1024 in
+  let rng = Logic.Rng.create 7 in
+  let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis src) ~len:rounds in
+  let sigs = Sim.Engine.simulate src pats in
+  let ids =
+    let acc = ref [] in
+    Graph.iter_ands src (fun id -> acc := id :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let fraig_ok =
+    Legacy_core.classify_string ~sigs ~ids ~rounds = classify_int ~sigs ~ids ~rounds
+  in
+  let fraig =
+    row "fraig-classify" ~checked:fraig_ok
+      (fun () -> ignore (Legacy_core.classify_string ~sigs ~ids ~rounds))
+      (fun () -> ignore (classify_int ~sigs ~ids ~rounds))
+  in
+  [ construction; strash_hit; rebuild; views_cold; views_warm; clone; fraig ]
+
+let core_json rows =
+  let row r =
+    Printf.sprintf
+      "  {\"circuit\": \"%s\", \"workload\": \"%s\", \"old_s\": %.6f, \
+       \"new_s\": %.6f, \"speedup\": %.2f, \"checked\": %b}"
+      r.k_circuit r.k_workload r.k_old_s r.k_new_s r.k_speedup r.k_checked
+  in
+  Printf.sprintf "{\"mode\": \"%s\", \"rows\": [\n%s\n]}\n"
+    (if smoke_mode then "smoke" else "full")
+    (String.concat ",\n" (List.map row rows))
+
+let core_bench () =
+  Printf.printf
+    "\n== AIG-core microbenchmark: legacy (boxed strash, per-call views) vs \
+     struct-of-arrays ==\n\
+     %!";
+  let circuits = if smoke_mode then [ "c880" ] else [ "c880"; "c1908"; "c7552"; "mtp8" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        match Circuits.Suite.find name with
+        | None -> failwith ("core bench: unknown circuit " ^ name)
+        | Some e ->
+            let rows = core_rows e in
+            List.iter
+              (fun r ->
+                Printf.printf "%-8s %-14s | old %10.3f ms  new %10.3f ms  (%6.1fx)%s\n%!"
+                  r.k_circuit r.k_workload (1e3 *. r.k_old_s) (1e3 *. r.k_new_s)
+                  r.k_speedup
+                  (if r.k_checked then "" else "  RESULT MISMATCH"))
+              rows;
+            rows)
+      circuits
+  in
+  let out = open_out "BENCH_core.json" in
+  output_string out (core_json rows);
+  close_out out;
+  Printf.printf "wrote BENCH_core.json\n%!";
+  if List.exists (fun r -> not r.k_checked) rows then begin
+    Printf.eprintf "core bench: the two cores disagree — the refactor is WRONG\n";
+    exit 1
+  end;
+  let floor workload = if smoke_mode then 0.5 else
+    match workload with
+    | "construction" | "rebuild" -> 2.0
+    | "clone" -> 1.5
+    | _ -> 0.5
+  in
+  let below = List.filter (fun r -> r.k_speedup < floor r.k_workload) rows in
+  if below <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf "core bench: %s/%s at %.2fx is below the %.1fx floor\n"
+          r.k_circuit r.k_workload r.k_speedup (floor r.k_workload))
+      below;
+    exit 1
+  end
+
 (* ---------- Driver ---------- *)
 
 let () =
@@ -1145,6 +1480,7 @@ let () =
   | "micro" -> micro ()
   | "pool" -> pool_bench ()
   | "scoring" -> scoring ()
+  | "core" -> core_bench ()
   | "serve" -> serve_bench ()
   | "explore" -> explore_bench ()
   | "maxerr" -> maxerr_bench ()
@@ -1159,13 +1495,14 @@ let () =
       micro ();
       pool_bench ();
       scoring ();
+      core_bench ();
       serve_bench ();
       explore_bench ();
       maxerr_bench ()
   | m ->
       Printf.eprintf
         "unknown mode %s \
-         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|serve|explore|maxerr|all)\n"
+         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|core|serve|explore|maxerr|all)\n"
         m;
       exit 1);
   Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)

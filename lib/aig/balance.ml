@@ -8,18 +8,29 @@ let run g =
   for i = 0 to Graph.num_pis g - 1 do
     mapping.(Graph.pi_node g i) <- Graph.add_pi ~name:(Graph.pi_name g i) fresh
   done;
-  (* Levels of the graph under construction, tracked incrementally. *)
-  let lev = Hashtbl.create 1024 in
+  (* Levels of the graph under construction, tracked incrementally in a
+     growable int array (0 = unset; AND levels are always >= 1, and consts
+     and PIs sit at level 0, so the default is also the right answer). *)
+  let lev = ref (Array.make 1024 0) in
   let level_of l =
     let id = Graph.node_of l in
-    if Graph.is_const id || Graph.is_pi fresh id then 0
-    else Option.value ~default:0 (Hashtbl.find_opt lev id)
+    if id < Array.length !lev then !lev.(id) else 0
+  in
+  let set_level id v =
+    if id >= Array.length !lev then begin
+      let n = ref (2 * Array.length !lev) in
+      while id >= !n do n := 2 * !n done;
+      let a = Array.make !n 0 in
+      Array.blit !lev 0 a 0 (Array.length !lev);
+      lev := a
+    end;
+    !lev.(id) <- v
   in
   let and_tracked a b =
     let r = Graph.and_ fresh a b in
     let id = Graph.node_of r in
-    if (not (Graph.is_const id)) && (not (Graph.is_pi fresh id)) && not (Hashtbl.mem lev id)
-    then Hashtbl.replace lev id (1 + max (level_of a) (level_of b));
+    if Graph.is_and fresh id && level_of r = 0 then
+      set_level id (1 + max (level_of a) (level_of b));
     r
   in
   (* Gather the operands of the maximal conjunction rooted at [l], stopping

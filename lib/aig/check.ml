@@ -2,7 +2,6 @@ let check g =
   let exception Bad of string in
   let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
   try
-    let seen = Hashtbl.create 256 in
     Graph.iter_ands g (fun id ->
         let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
         if Graph.node_of f0 >= id || Graph.node_of f1 >= id then
@@ -11,8 +10,13 @@ let check g =
         if Graph.node_of f0 = 0 then fail "node %d: constant fanin survived folding" id;
         if Graph.node_of f0 = Graph.node_of f1 then
           fail "node %d: trivial fanin pair survived folding" id;
-        if Hashtbl.mem seen (f0, f1) then fail "node %d: duplicate strash pair" id;
-        Hashtbl.replace seen (f0, f1) id);
+        (* The strash table is authoritative: probing the pair must land on
+           this very node, or the table is inconsistent / the pair occurs
+           twice (first insertion wins, so a duplicate resolves elsewhere). *)
+        match Graph.find_and g f0 f1 with
+        | Some id' when id' = id -> ()
+        | Some id' -> fail "node %d: duplicate strash pair (canonical is %d)" id id'
+        | None -> fail "node %d: fanin pair missing from strash table" id);
     Graph.iter_pos g (fun i l ->
         if Graph.node_of l < 0 || Graph.node_of l >= Graph.num_nodes g then
           fail "PO %d: literal out of range" i);

@@ -1,7 +1,9 @@
-(* CSR fanout adjacency: one shared pair of int arrays instead of a dense
-   bool mask per source node.  Built in two counting passes over the edges;
-   node ids ascend topologically, so each node's consumer slice is sorted
-   ascending by construction (the fill pass visits consumers in id order). *)
+(* CSR fanout adjacency, served from the graph's revision-stamped derived
+   views ({!Graph.views}): [build] is O(1) when the bundle is warm and a
+   bulk two-pass build otherwise.  A [t] pins the arrays of the revision it
+   was built at, so it stays internally consistent (merely stale) if the
+   graph mutates afterwards — [matches] detects that, exactly as before the
+   views cache absorbed the construction. *)
 
 type t = {
   g : Graph.t;
@@ -13,53 +15,15 @@ type t = {
 }
 
 let build g =
-  let n = Graph.num_nodes g in
-  let offsets = Array.make (n + 1) 0 in
-  let po_offsets = Array.make (n + 1) 0 in
-  (* Pass 1: out-degrees (an AND never has both fanins on the same node —
-     strashing folds [a AND a] and [a AND ~a] — but guard anyway so parsed
-     graphs cannot produce duplicate edges). *)
-  Graph.iter_ands g (fun id ->
-      let n0 = Graph.node_of (Graph.fanin0 g id) in
-      let n1 = Graph.node_of (Graph.fanin1 g id) in
-      offsets.(n0) <- offsets.(n0) + 1;
-      if n1 <> n0 then offsets.(n1) <- offsets.(n1) + 1);
-  Graph.iter_pos g (fun _ l ->
-      let d = Graph.node_of l in
-      po_offsets.(d) <- po_offsets.(d) + 1);
-  (* Exclusive prefix sums. *)
-  let acc = ref 0 in
-  for v = 0 to n do
-    let c = offsets.(v) in
-    offsets.(v) <- !acc;
-    acc := !acc + c
-  done;
-  let targets = Array.make !acc 0 in
-  let pacc = ref 0 in
-  for v = 0 to n do
-    let c = po_offsets.(v) in
-    po_offsets.(v) <- !pacc;
-    pacc := !pacc + c
-  done;
-  let po_targets = Array.make !pacc 0 in
-  (* Pass 2: fill, using the offsets as write cursors, then restore them by
-     shifting back (cursor of v ends exactly at offsets.(v+1)). *)
-  let cursor = Array.copy offsets in
-  Graph.iter_ands g (fun id ->
-      let n0 = Graph.node_of (Graph.fanin0 g id) in
-      let n1 = Graph.node_of (Graph.fanin1 g id) in
-      targets.(cursor.(n0)) <- id;
-      cursor.(n0) <- cursor.(n0) + 1;
-      if n1 <> n0 then begin
-        targets.(cursor.(n1)) <- id;
-        cursor.(n1) <- cursor.(n1) + 1
-      end);
-  let po_cursor = Array.copy po_offsets in
-  Graph.iter_pos g (fun i l ->
-      let d = Graph.node_of l in
-      po_targets.(po_cursor.(d)) <- i;
-      po_cursor.(d) <- po_cursor.(d) + 1);
-  { g; revision = Graph.revision g; offsets; targets; po_offsets; po_targets }
+  let v = Graph.views g in
+  {
+    g;
+    revision = v.Graph.v_rev;
+    offsets = v.Graph.v_offsets;
+    targets = v.Graph.v_targets;
+    po_offsets = v.Graph.v_po_offsets;
+    po_targets = v.Graph.v_po_targets;
+  }
 
 let revision t = t.revision
 let matches t g = t.g == g && t.revision = Graph.revision g

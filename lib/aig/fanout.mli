@@ -14,12 +14,18 @@
 
     A [t] snapshots {!Graph.revision} at build time; any later structural
     mutation of the graph makes it stale ({!matches} returns [false]) and
-    callers must rebuild. *)
+    callers must rebuild.
+
+    The arrays themselves live in the graph's revision-stamped derived-view
+    cache ({!Graph.views}): building a [t] against a warm cache is O(1) and
+    shares the arrays with every other same-revision consumer — treat them
+    as read-only. *)
 
 type t
 
 val build : Graph.t -> t
-(** Two counting passes over the AND edges and PO drivers; O(|V| + |E|). *)
+(** O(1) against a warm {!Graph.views} cache; otherwise the bulk two-pass
+    CSR construction, O(|V| + |E|). *)
 
 val revision : t -> int
 (** The {!Graph.revision} the structure was built at. *)

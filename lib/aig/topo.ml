@@ -1,27 +1,14 @@
-let levels g =
-  let n = Graph.num_nodes g in
-  let lev = Array.make n 0 in
-  Graph.iter_ands g (fun id ->
-      let l0 = lev.(Graph.node_of (Graph.fanin0 g id)) in
-      let l1 = lev.(Graph.node_of (Graph.fanin1 g id)) in
-      lev.(id) <- 1 + max l0 l1);
-  lev
+(* Structural measurements, served from the graph's revision-stamped
+   derived-view cache: repeated queries against an unchanged graph are O(1)
+   and share one bulk computation.  The returned arrays are owned by the
+   cache — read-only for callers (every in-tree consumer that needs to
+   mutate counts, e.g. {!Cone.mffc}, copies first). *)
 
-let depth g =
-  let lev = levels g in
-  let d = ref 0 in
-  Graph.iter_pos g (fun _ l -> d := max !d lev.(Graph.node_of l));
-  !d
+let levels g = Graph.levels g
 
-let fanout_counts g =
-  let n = Graph.num_nodes g in
-  let counts = Array.make n 0 in
-  let bump l = counts.(Graph.node_of l) <- counts.(Graph.node_of l) + 1 in
-  Graph.iter_ands g (fun id ->
-      bump (Graph.fanin0 g id);
-      bump (Graph.fanin1 g id));
-  Graph.iter_pos g (fun _ l -> bump l);
-  counts
+let depth g = Graph.depth g
+
+let fanout_counts g = Graph.ref_counts g
 
 let node_count_in_use g =
   let n = Graph.num_nodes g in

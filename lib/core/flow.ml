@@ -143,6 +143,12 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
     match init with None -> rng0 | Some s -> Logic.Rng.of_state s.Journal.rng_state
   in
   let g = ref g_start in
+  (* Candidate-rebuild arena: the loop below materializes one rebuilt graph
+     per tried candidate and throws most of them away at the cheap size
+     check, so the mapping scratch and the rejected graph's arrays are
+     recycled instead of re-allocated (steady state: zero allocation per
+     rejected candidate beyond what the strash folding itself demands). *)
+  let rb = Graph.rebuilder () in
   let depth_limit =
     if config.max_depth_growth = infinity then max_int
     else
@@ -447,7 +453,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
               else Lac.replacement lac
             in
             let replaced =
-              Graph.rebuild
+              Graph.rebuild_with rb
                 ~replace:(fun id -> if id = lac.Lac.target then Some replacement else None)
                 !g
             in
@@ -459,6 +465,9 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
               && Aig.Topo.depth replaced <= depth_limit
             then begin
               let optimized = optimize_step replaced in
+              (* [optimize_step] copies into a fresh graph, so the raw
+                 rebuild is dead either way from here on. *)
+              Graph.recycle rb replaced;
               (* The optimizer itself may deepen (refactor trades depth for
                  area); guard the graph we would actually keep. *)
               if Aig.Topo.depth optimized > depth_limit then try_apply ~skipped:true rest
@@ -552,7 +561,10 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
                           lac.Lac.target err (Graph.num_ands !g));
                     `Applied
             end
-            else try_apply ~skipped:true rest
+            else begin
+              Graph.recycle rb replaced;
+              try_apply ~skipped:true rest
+            end
       in
       match try_apply ~skipped:false ordered with
       | `Applied ->

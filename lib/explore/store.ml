@@ -131,6 +131,26 @@ let ensure_dir d =
     try Sys.mkdir d 0o755
     with Sys_error _ when Sys.file_exists d -> () (* racing shard won *)
 
+(* [Atomic_file.write] stages its temporary file next to the target, so a
+   process killed mid-write strands a [*.tmp.*] file in the sweep
+   directory.  Completed-point lookup goes by exact path and never sees
+   the debris, but directory listings do — sweep it on (re)start.  A
+   shard launched while another is mid-write could in principle remove
+   the peer's sub-millisecond-old temp file; the peer's rename then
+   fails loudly and the sweep stays resumable, so the race degrades to a
+   retry, never to corruption. *)
+let remove_debris d =
+  if Sys.file_exists d then
+    Array.iter
+      (fun name ->
+        let rec has_tmp_marker i =
+          i + 5 <= String.length name
+          && (String.sub name i 5 = ".tmp." || has_tmp_marker (i + 1))
+        in
+        if has_tmp_marker 0 then
+          try Sys.remove (Filename.concat d name) with Sys_error _ -> ())
+      (Sys.readdir d)
+
 let load_manifest dir =
   let path = manifest_path dir in
   if Sys.file_exists path then Some (manifest_of_string (Circuit_io.Atomic_file.read path))
@@ -140,6 +160,9 @@ let init ~dir m =
   ensure_dir dir;
   ensure_dir (points_dir dir);
   ensure_dir (fronts_dir dir);
+  remove_debris dir;
+  remove_debris (points_dir dir);
+  remove_debris (fronts_dir dir);
   match load_manifest dir with
   | Some existing -> existing
   | None ->

@@ -57,8 +57,10 @@ type result = {
 val init : dir:string -> manifest -> manifest
 (** Create the directory layout and persist [manifest] — unless a
     manifest already exists, in which case it is loaded and returned
-    instead (resume semantics: disk wins).  Raises [Failure] on an
-    unreadable existing manifest. *)
+    instead (resume semantics: disk wins).  Also removes [*.tmp.*]
+    debris stranded by a process killed mid-[Atomic_file.write], so a
+    resumed sweep's directories list only completed artifacts.  Raises
+    [Failure] on an unreadable existing manifest. *)
 
 val load_manifest : string -> manifest option
 (** [None] when no manifest file exists; raises [Failure] on a corrupt

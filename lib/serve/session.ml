@@ -96,8 +96,11 @@ let create ~state_dir ~name ~circuit ~graph ~priority =
   Circuit_io.Atomic_file.write (original_path dir)
     (Circuit_io.Aiger.graph_to_string graph);
   let t =
-    warm ~name ~dir ~circuit ~original:graph ~current:graph ~priority
-      ~budget_s:0.0 ~applied_total:0
+    (* [current] starts as a cheap blit-level clone so no later in-place
+       mutation of the working graph can reach the pristine [original] the
+       golden signatures and the CSR handle were built from. *)
+    warm ~name ~dir ~circuit ~original:graph ~current:(Aig.Graph.clone graph)
+      ~priority ~budget_s:0.0 ~applied_total:0
   in
   save_manifest t;
   t
@@ -167,7 +170,10 @@ let rollback_to_snapshot t =
   let snapshot =
     match Core.Journal.load (journal_dir t) with
     | resume -> resume.Core.Journal.graph
-    | exception Failure _ -> t.original
+    | exception Failure _ ->
+        (* Clone rather than alias: [current] must never share node arrays
+           with the pristine [original]. *)
+        Aig.Graph.clone t.original
   in
   set_current t snapshot
 

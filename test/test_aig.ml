@@ -297,6 +297,133 @@ let test_set_po () =
   Graph.set_po g i b;
   check_int "updated" b (Graph.po_lit g i)
 
+(* ---------- SoA core: clone, snapshot, views, rebuilder ---------- *)
+
+let dump g = Circuit_io.Aiger.graph_to_string g
+
+(* Reference recomputation of every derived view through the public
+   accessors only — shares nothing with the cache under test. *)
+let naive_views g =
+  let n = Graph.num_nodes g in
+  let levels = Array.make n 0 in
+  let refs = Array.make n 0 in
+  let fan = Array.make n [] in
+  let po_fan = Array.make n [] in
+  Graph.iter_ands g (fun id ->
+      let n0 = Graph.node_of (Graph.fanin0 g id)
+      and n1 = Graph.node_of (Graph.fanin1 g id) in
+      levels.(id) <- 1 + max levels.(n0) levels.(n1);
+      refs.(n0) <- refs.(n0) + 1;
+      refs.(n1) <- refs.(n1) + 1;
+      fan.(n0) <- id :: fan.(n0);
+      if n1 <> n0 then fan.(n1) <- id :: fan.(n1));
+  let depth = ref 0 in
+  Graph.iter_pos g (fun i l ->
+      let d = Graph.node_of l in
+      refs.(d) <- refs.(d) + 1;
+      po_fan.(d) <- i :: po_fan.(d);
+      if levels.(d) > !depth then depth := levels.(d));
+  (levels, refs, Array.map List.rev fan, Array.map List.rev po_fan, !depth)
+
+let check_views what g =
+  let levels, refs, fan, po_fan, depth = naive_views g in
+  Alcotest.(check (array int)) (what ^ ": levels") levels (Aig.Topo.levels g);
+  Alcotest.(check (array int)) (what ^ ": refs") refs (Aig.Topo.fanout_counts g);
+  check_int (what ^ ": depth") depth (Aig.Topo.depth g);
+  let f = Aig.Fanout.build g in
+  for v = 0 to Graph.num_nodes g - 1 do
+    let acc = ref [] in
+    Aig.Fanout.iter_fanouts f v (fun t -> acc := t :: !acc);
+    Alcotest.(check (list int)) (what ^ ": fanouts") fan.(v) (List.rev !acc);
+    let pacc = ref [] in
+    Aig.Fanout.iter_pos f v (fun t -> pacc := t :: !pacc);
+    Alcotest.(check (list int)) (what ^ ": po fanouts") po_fan.(v) (List.rev !pacc)
+  done
+
+let test_views_random_mutations () =
+  for seed = 1 to 30 do
+    let g = Verify.Gen.random seed in
+    check_views "initial" g;
+    let rng = Logic.Rng.create (1000 + seed) in
+    (* Randomized structural mutation sequence through the public API —
+       appended gates, new POs, PO rewires.  After every step the cached
+       views must equal a from-scratch recomputation. *)
+    for step = 1 to 12 do
+      let rand_lit () =
+        Graph.make_lit (Logic.Rng.int rng (Graph.num_nodes g)) (Logic.Rng.int rng 2 = 1)
+      in
+      (match Logic.Rng.int rng 3 with
+      | 0 -> ignore (Graph.and_ g (rand_lit ()) (rand_lit ()))
+      | 1 -> ignore (Graph.add_po g (rand_lit ()))
+      | _ -> Graph.set_po g (Logic.Rng.int rng (Graph.num_pos g)) (rand_lit ()));
+      check_views (Printf.sprintf "seed %d step %d" seed step) g
+    done
+  done
+
+let test_clone_roundtrip () =
+  for seed = 1 to 50 do
+    let g = Verify.Gen.random seed in
+    let c = Graph.clone g in
+    Alcotest.(check string) "clone dump" (dump g) (dump c);
+    (* Divergence after the clone stays isolated: mutating the copy leaves
+       the original byte-identical, and both sides' views stay correct. *)
+    let d0 = dump g in
+    ignore (Graph.and_ c (Graph.pi_lit c 0) (Graph.lit_not (Graph.pi_lit c 1)));
+    ignore (Graph.add_po c Graph.const1);
+    Alcotest.(check string) "original untouched" d0 (dump g);
+    check_views "mutated clone" c;
+    check_views "original after clone mutation" g;
+    Aig.Check.check_exn c;
+    Aig.Check.check_exn g
+  done
+
+let test_snapshot_restore () =
+  for seed = 1 to 50 do
+    let g = Verify.Gen.random seed in
+    let d0 = dump g in
+    let s = Graph.snapshot g in
+    let rev0 = Graph.revision g in
+    let a = Graph.add_pi g in
+    ignore (Graph.add_po g (Graph.and_ g a (Graph.pi_lit g 0)));
+    Graph.set_po g 0 Graph.const0;
+    check "mutations took" true (dump g <> d0);
+    Graph.restore g s;
+    Alcotest.(check string) "restored dump" d0 (dump g);
+    check "revision stays monotonic" true (Graph.revision g > rev0);
+    check_views "restored" g;
+    Aig.Check.check_exn g;
+    (* The restored strash is live: re-issuing every existing pair must hit
+       the table, never create a node. *)
+    let n = Graph.num_nodes g in
+    Graph.iter_ands g (fun id ->
+        ignore (Graph.and_ g (Graph.fanin0 g id) (Graph.fanin1 g id)));
+    check_int "strash intact after restore" n (Graph.num_nodes g)
+  done
+
+let test_rebuilder_matches_rebuild () =
+  (* One shared rebuilder across 220 random circuits: the scratch-reuse
+     path must produce byte-identical results to the allocating one, with
+     and without substitutions, while recycling destination graphs. *)
+  let rb = Graph.rebuilder () in
+  for seed = 1 to 220 do
+    let g = Verify.Gen.random seed in
+    let plain = Graph.rebuild g in
+    let reused = Graph.rebuild_with rb g in
+    Alcotest.(check string) "compact equal" (dump plain) (dump reused);
+    let target = ref (-1) in
+    Graph.iter_ands g (fun id -> if !target < 0 then target := id);
+    if !target >= 0 then begin
+      let replace id =
+        if id = !target then Some (Graph.Replace_lit Graph.const0) else None
+      in
+      let p2 = Graph.rebuild ~replace g in
+      let r2 = Graph.rebuild_with rb ~replace g in
+      Alcotest.(check string) "substitution equal" (dump p2) (dump r2);
+      Graph.recycle rb r2
+    end;
+    Graph.recycle rb reused
+  done
+
 let () =
   Alcotest.run "aig"
     [
@@ -324,6 +451,15 @@ let () =
           Alcotest.test_case "tfi sorted" `Quick test_tfi_nodes_sorted;
           Alcotest.test_case "mffc" `Quick test_mffc;
           Alcotest.test_case "cone inputs" `Quick test_cone_inputs;
+        ] );
+      ( "soa-core",
+        [
+          Alcotest.test_case "views after random mutations" `Quick
+            test_views_random_mutations;
+          Alcotest.test_case "clone round-trip" `Quick test_clone_roundtrip;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "rebuilder matches rebuild" `Quick
+            test_rebuilder_matches_rebuild;
         ] );
       ( "cuts",
         [

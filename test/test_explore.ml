@@ -434,12 +434,20 @@ let run_explore_blocking dir ~benchmarks ~ladder ~shards ~shard_id =
   | _, Unix.WEXITED 0 -> ()
   | _, _ -> Alcotest.fail "alsrac explore exited non-zero"
 
+let is_completed_point name =
+  (* Ignore [Atomic_file] temp files mid-rename: the kill must land after
+     a point actually completed, not while one is being staged. *)
+  String.length name >= 6
+  && String.sub name 0 6 = "point-"
+  && not (String.exists (fun c -> c = '.') name)
+
 let wait_for_some_point dir ~timeout_s =
   let points = Filename.concat dir "points" in
   let t0 = Unix.gettimeofday () in
   let rec go () =
     let have =
-      Sys.file_exists points && Array.length (Sys.readdir points) > 0
+      Sys.file_exists points
+      && Array.exists is_completed_point (Sys.readdir points)
     in
     if have then true
     else if Unix.gettimeofday () -. t0 > timeout_s then false
