@@ -1465,6 +1465,147 @@ let core_bench () =
     exit 1
   end
 
+(* ---------- Exact-resubstitution benchmark (DESIGN.md section 15) ----------
+
+   resyn2-with-resub against the plain three-pass pipeline over the
+   benchmark suite: node/level reduction and wall-clock of compress2 with
+   and without the fourth (exact-resubstitution) pass.  Each run's final
+   graph is independently re-proven equivalent to the original with the CEC
+   portfolio — a bench row is only "proven" if the end-to-end result
+   certifies, on top of the per-commit proofs inside the engine.
+
+   Writes BENCH_resub.json.  Gates: a refuted end-to-end proof is fatal
+   in every mode; an Undecided one is fatal only in smoke mode, where
+   the fixtures are small enough that the portfolio always closes (on
+   the full corpus the largest miters can exhaust the bounded portfolio
+   without implying anything is wrong — every commit inside the engine
+   was individually certified).  In both modes resub must never end
+   larger than plain compress2, and the fourth pass must yield a strict
+   AND-count win on at least half the corpus — the headline claim of
+   the pass. *)
+
+type resub_row = {
+  b_circuit : string;
+  b_ands : int;  (** input (compacted) AND count *)
+  b_plain_ands : int;
+  b_resub_ands : int;
+  b_plain_depth : int;
+  b_resub_depth : int;
+  b_plain_s : float;
+  b_resub_s : float;
+  b_accepted : int;
+  b_proven : bool;  (** final graph CEC-proven equivalent to the input *)
+  b_refuted : bool;  (** the CEC portfolio found a counterexample *)
+}
+
+let resub_fixture (e : Circuits.Suite.entry) =
+  let g = Graph.compact (e.Circuits.Suite.build ()) in
+  let t0 = wall () in
+  let plain = Aig.Resyn.compress2 g in
+  let plain_s = wall () -. t0 in
+  let stats = ref Core.Resub_exact.zero_stats in
+  let resub h =
+    let h', st = Core.Resub_exact.run h in
+    stats := Core.Resub_exact.add_stats !stats st;
+    h'
+  in
+  let t1 = wall () in
+  let withr = Aig.Resyn.compress2 ~resub g in
+  let resub_s = wall () -. t1 in
+  let proven, refuted =
+    match Verify.Cec.run ~seed:11 ~effort:Verify.Cec.Thorough g withr with
+    | Verify.Cec.Equivalent -> (true, false)
+    | Verify.Cec.Undecided _ -> (false, false)
+    | Verify.Cec.Inequivalent _ -> (false, true)
+  in
+  {
+    b_circuit = e.Circuits.Suite.name;
+    b_ands = Graph.num_ands g;
+    b_plain_ands = Graph.num_ands plain;
+    b_resub_ands = Graph.num_ands withr;
+    b_plain_depth = Aig.Topo.depth plain;
+    b_resub_depth = Aig.Topo.depth withr;
+    b_plain_s = plain_s;
+    b_resub_s = resub_s;
+    b_accepted = !stats.Core.Resub_exact.accepted;
+    b_proven = proven;
+    b_refuted = refuted;
+  }
+
+let resub_bench () =
+  Printf.printf
+    "\n== Exact resubstitution: compress2 vs compress2+resub ==\n%!";
+  let entries =
+    if smoke_mode then
+      List.filter_map Circuits.Suite.find [ "c880"; "c1908"; "ctrl"; "int2float" ]
+    else Circuits.Suite.all
+  in
+  let rows =
+    List.map
+      (fun e ->
+        let r = resub_fixture e in
+        Printf.printf
+          "%-10s %5d ands | plain %5d (d%3d) %6.2fs | +resub %5d (d%3d) %6.2fs \
+           | %3d resubs%s%s\n\
+           %!"
+          r.b_circuit r.b_ands r.b_plain_ands r.b_plain_depth r.b_plain_s
+          r.b_resub_ands r.b_resub_depth r.b_resub_s r.b_accepted
+          (if r.b_resub_ands < r.b_plain_ands then "  WIN" else "")
+          (if r.b_proven then ""
+           else if r.b_refuted then "  REFUTED"
+           else "  UNDECIDED");
+        r)
+      entries
+  in
+  let row r =
+    Printf.sprintf
+      "  {\"circuit\": \"%s\", \"ands\": %d, \"plain_ands\": %d, \
+       \"resub_ands\": %d, \"plain_depth\": %d, \"resub_depth\": %d, \
+       \"plain_s\": %.4f, \"resub_s\": %.4f, \"accepted\": %d, \
+       \"proven\": %b, \"refuted\": %b}"
+      r.b_circuit r.b_ands r.b_plain_ands r.b_resub_ands r.b_plain_depth
+      r.b_resub_depth r.b_plain_s r.b_resub_s r.b_accepted r.b_proven
+      r.b_refuted
+  in
+  let wins = List.length (List.filter (fun r -> r.b_resub_ands < r.b_plain_ands) rows) in
+  let out = open_out "BENCH_resub.json" in
+  Printf.fprintf out "{\"mode\": \"%s\", \"wins\": %d, \"rows\": [\n%s\n]}\n"
+    (if smoke_mode then "smoke" else "full")
+    wins
+    (String.concat ",\n" (List.map row rows));
+  close_out out;
+  Printf.printf "wrote BENCH_resub.json (%d/%d strict AND wins)\n%!" wins
+    (List.length rows);
+  if List.exists (fun r -> r.b_refuted) rows then begin
+    Printf.eprintf "resub bench: end-to-end CEC REFUTED a result — UNSOUND\n";
+    exit 1
+  end;
+  let undecided = List.filter (fun r -> not r.b_proven) rows in
+  if undecided <> [] then begin
+    if smoke_mode then begin
+      Printf.eprintf
+        "resub bench: smoke fixture left Undecided by end-to-end CEC\n";
+      exit 1
+    end;
+    List.iter
+      (fun r ->
+        Printf.printf
+          "note: %s end-to-end proof Undecided (portfolio budget; every \
+           commit was certified individually)\n"
+          r.b_circuit)
+      undecided
+  end;
+  if List.exists (fun r -> r.b_resub_ands > r.b_plain_ands) rows then begin
+    Printf.eprintf "resub bench: resub ended LARGER than plain compress2\n";
+    exit 1
+  end;
+  if 2 * wins < List.length rows then begin
+    Printf.eprintf
+      "resub bench: strict AND wins on only %d/%d circuits (need >= half)\n" wins
+      (List.length rows);
+    exit 1
+  end
+
 (* ---------- Driver ---------- *)
 
 let () =
@@ -1484,6 +1625,7 @@ let () =
   | "serve" -> serve_bench ()
   | "explore" -> explore_bench ()
   | "maxerr" -> maxerr_bench ()
+  | "resub" -> resub_bench ()
   | "ablations" -> ablations ()
   | "all" ->
       table3 ();
@@ -1498,11 +1640,12 @@ let () =
       core_bench ();
       serve_bench ();
       explore_bench ();
-      maxerr_bench ()
+      maxerr_bench ();
+      resub_bench ()
   | m ->
       Printf.eprintf
         "unknown mode %s \
-         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|core|serve|explore|maxerr|all)\n"
+         (table3|table4|table5|table6|table7|ablations|micro|pool|scoring|core|serve|explore|maxerr|resub|all)\n"
         m;
       exit 1);
   Printf.printf "\ntotal bench time: %.1fs cpu, %.1fs wall%s\n" (Sys.time () -. t0)

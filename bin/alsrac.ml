@@ -77,14 +77,36 @@ let stats_cmd spec mapping =
 
 (* ---------- opt ---------- *)
 
-let opt_cmd spec fraig output =
+let opt_cmd spec fraig exact_resub output =
   let* g = load spec in
   let before = Aig.Graph.num_ands g in
-  let g' = Aig.Resyn.compress2 g in
-  let g' = if fraig then Aig.Resyn.compress2 (Sim.Fraig.run g') else g' in
+  let rstats = ref Core.Resub_exact.zero_stats in
+  let resub =
+    if exact_resub then
+      Some
+        (fun g ->
+          let g', st = Core.Resub_exact.run g in
+          rstats := Core.Resub_exact.add_stats !rstats st;
+          g')
+    else None
+  in
+  let g' = Aig.Resyn.compress2 ?resub g in
+  let g' = if fraig then Aig.Resyn.compress2 ?resub (Sim.Fraig.run g') else g' in
   Printf.printf "%s: %d -> %d ands (depth %d -> %d)\n"
-    (if fraig then "compress2+fraig" else "compress2")
+    (String.concat "+"
+       (("compress2" :: (if exact_resub then [ "resub" ] else []))
+       @ (if fraig then [ "fraig" ] else [])))
     before (Aig.Graph.num_ands g') (Aig.Topo.depth g) (Aig.Topo.depth g');
+  if exact_resub then begin
+    let s = !rstats in
+    Printf.printf
+      "resub: %d accepted over %d passes (%d targets, %d feasible sets, %d \
+       derived, %d sim-refuted, %d undecided, %d refuted)\n"
+      s.Core.Resub_exact.accepted s.Core.Resub_exact.passes
+      s.Core.Resub_exact.targets s.Core.Resub_exact.feasible
+      s.Core.Resub_exact.derived s.Core.Resub_exact.sim_refuted
+      s.Core.Resub_exact.cec_undecided s.Core.Resub_exact.cec_refuted
+  end;
   match output with Some path -> save path g' | None -> Ok ()
 
 (* ---------- eval ---------- *)
@@ -152,7 +174,7 @@ let parse_policy p =
   | None -> Error (`Msg (Printf.sprintf "unknown policy %s (greedy|bandit)" p))
 
 let approx_cmd spec metric threshold method_ seed eval_rounds mapping output journal
-    resume guard certify jobs policy distr max_error =
+    resume guard certify exact_resub jobs policy distr max_error =
   let* metric = parse_metric metric in
   (* [--max-error E] is worst-case sugar: budget E on the maximum error,
      defaulting the metric to maxed unless a max metric was named
@@ -192,6 +214,11 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
     else Ok ()
   in
   let* () =
+    if exact_resub && method_ <> "alsrac" then
+      Error (`Msg "--exact-resub is only supported with --method alsrac")
+    else Ok ()
+  in
+  let* () =
     if policy <> Explore.Policy.Greedy && method_ <> "alsrac" then
       Error (`Msg "--policy is only supported with --method alsrac")
     else Ok ()
@@ -205,6 +232,7 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
             eval_rounds;
             guard;
             certify_exact = certify;
+            exact_resub;
             distr;
             jobs = Option.value jobs ~default:1;
             policy = Explore.Policy.make policy }
@@ -263,6 +291,17 @@ let approx_cmd spec metric threshold method_ seed eval_rounds mapping output jou
              s.Errest.Batch.scored s.Errest.Batch.trivial s.Errest.Batch.early_exits
              s.Errest.Batch.frontier_nodes s.Errest.Batch.changed_pos
              s.Errest.Batch.changed_words);
+        (match r.Core.Flow.resub with
+        | Some s ->
+            Printf.printf
+              "resub: %d accepted over %d passes (%d targets, %d feasible sets, \
+               %d derived, %d sim-refuted, %d undecided, %d refuted; %d scored)\n"
+              s.Core.Resub_exact.accepted s.Core.Resub_exact.passes
+              s.Core.Resub_exact.targets s.Core.Resub_exact.feasible
+              s.Core.Resub_exact.derived s.Core.Resub_exact.sim_refuted
+              s.Core.Resub_exact.cec_undecided s.Core.Resub_exact.cec_refuted
+              s.Core.Resub_exact.batch.Errest.Batch.scored
+        | None -> ());
         (match r.Core.Flow.policy with
         | Some p ->
             let active =
@@ -642,10 +681,16 @@ let stats_cmd' = Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") stats_
 
 let opt_term =
   Term.(
-    const (fun spec fraig output -> exits_of_result (opt_cmd spec fraig output))
+    const (fun spec fraig exact_resub output ->
+        exits_of_result (opt_cmd spec fraig exact_resub output))
     $ circuit_arg
     $ Arg.(value & flag & info [ "fraig" ]
              ~doc:"Also run simulation-guided exact equivalence merging.")
+    $ Arg.(value & flag & info [ "exact-resub" ]
+             ~doc:"Append the simulation-guided exact resubstitution pass to \
+                   the pipeline: signature-filtered divisors, k-resub (k <= 3) \
+                   with simulation don't-cares, every committed substitution \
+                   proven equivalent by the CEC portfolio.")
     $ output_opt)
 
 let opt_cmd' =
@@ -677,10 +722,10 @@ let approx_term =
   Term.(
     const
       (fun spec metric threshold method_ seed eval_rounds mapping output journal resume
-           guard certify jobs policy distr max_error ->
+           guard certify exact_resub jobs policy distr max_error ->
         exits_of_result
           (approx_cmd spec metric threshold method_ seed eval_rounds mapping output
-             journal resume guard certify jobs policy distr max_error))
+             journal resume guard certify exact_resub jobs policy distr max_error))
     $ circuit_arg $ metric_arg
     $ Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"E"
              ~doc:"Error threshold (fraction, e.g. 0.01 for 1%).")
@@ -708,6 +753,13 @@ let approx_term =
                    and re-simulate every accepted change's error on independent \
                    patterns, reporting the verdicts.  Observational: never \
                    changes the result circuit.")
+    $ Arg.(value & flag & info [ "exact-resub" ]
+             ~doc:"Append the simulation-guided exact resubstitution pass to \
+                   every inter-iteration and final compress2: k-resub (k <= 3) \
+                   over signature-filtered divisors with simulation \
+                   don't-cares, every committed substitution proven \
+                   equivalent by the CEC portfolio — the flow's error \
+                   accounting is untouched.")
     $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
              ~doc:"Worker-pool size for simulation and candidate scoring: 1 \
                    (default) is fully sequential, 0 detects the core count, \

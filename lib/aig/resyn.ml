@@ -5,7 +5,7 @@ let light g =
   let swept = Graph.compact g in
   keep_smaller ~candidate:(Balance.run swept) ~current:swept
 
-let compress2 g =
+let compress2 ?resub g =
   let g0 = Graph.compact g in
   let g1 = keep_smaller ~candidate:(Balance.run g0) ~current:g0 in
   let g2 = Rewrite.run g1 in
@@ -13,4 +13,12 @@ let compress2 g =
   let g4 = keep_smaller ~candidate:(Balance.run g3) ~current:g3 in
   let g5 = Rewrite.run g4 in
   let g6 = Graph.compact g5 in
-  keep_smaller ~candidate:g6 ~current:g0
+  (* The optional fourth pass (exact resubstitution) lives in [Core] and is
+     threaded in as a closure — [Aig] cannot depend on it.  It only ever
+     shrinks its input, so monotonicity is preserved. *)
+  let g7 =
+    match resub with
+    | None -> g6
+    | Some f -> keep_smaller ~candidate:(f g6) ~current:g6
+  in
+  keep_smaller ~candidate:g7 ~current:g0

@@ -4,6 +4,9 @@
 val light : Graph.t -> Graph.t
 (** Sweep (dead-node removal + re-strashing) and balance. *)
 
-val compress2 : Graph.t -> Graph.t
+val compress2 : ?resub:(Graph.t -> Graph.t) -> Graph.t -> Graph.t
 (** The full pipeline: sweep, balance, rewrite, refactor, balance, rewrite,
-    sweep — monotone in AND count (never returns a larger graph). *)
+    sweep — monotone in AND count (never returns a larger graph).
+    [?resub] appends a fourth pass after the sweep (the exact-resubstitution
+    engine from [Core], threaded as a closure because the dependency points
+    the other way); its result is kept only if no larger. *)

@@ -7,6 +7,11 @@ type t = { divisors : int array; table : entry array; care_count : int }
 let scan ?mask ~sigs ~node ~divisors ~rounds () =
   let k = Array.length divisors in
   if k > Logic.Truth.max_vars then invalid_arg "Care.scan: too many divisors";
+  (* A target among its own divisors would "resubstitute" a node by itself —
+     a combinational loop once the replacement is rewired.  Enumeration
+     ([Divisor]) never proposes it; this guard keeps direct callers honest. *)
+  if Array.exists (fun d -> d = node) divisors then
+    invalid_arg "Care.scan: target node cannot be its own divisor";
   let table = Array.make (1 lsl k) Unseen in
   let care_count = ref 0 in
   let div_words = Array.map (fun d -> Bitvec.unsafe_words sigs.(d)) divisors in

@@ -37,6 +37,7 @@ type t = {
   guard_tol : float;
   confidence : float;
   certify_exact : bool;
+  exact_resub : bool;
   fault : Fault.plan;
   jobs : int;
   policy : policy;
@@ -66,6 +67,7 @@ let default ~metric ~threshold =
     guard_tol = 1e-9;
     confidence = 0.999;
     certify_exact = false;
+    exact_resub = false;
     fault = Fault.none;
     jobs = 1;
     policy = Greedy;

@@ -96,6 +96,12 @@ type t = {
           independent re-simulation.  Verdicts are recorded in the flow
           report; the checks are observational and never change the result
           circuit. *)
+  exact_resub : bool;
+      (** append the simulation-guided exact resubstitution pass
+          ({!Resub_exact}) to every [Compress2] inter-iteration optimization
+          and the final hand-off.  Exact: each committed resubstitution is
+          CEC-proven, so the flow's error accounting is untouched.  Default
+          off. *)
   fault : Fault.plan;
       (** deterministic fault injection for resilience tests; {!Fault.none}
           (the default) disables every hook *)

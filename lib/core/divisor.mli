@@ -1,11 +1,19 @@
-(** Divisor-set selection (Algorithm 1).
+(** Divisor collection, shared by the approximate LAC generator
+    (Algorithm 1) and the exact resubstitution engine.
 
-    For a target node [V] with fanin set [FI], the candidate divisor sets
-    are, in order: each [FI \ {n}] (drop one fanin), then each
-    [(FI \ {n}) + {u}] for every node [u] of [V]'s TFI cone taken in
-    ascending logic-level order (replace a fanin by a possibly remote
-    signal).  Duplicate sets are suppressed.  The enumeration is lazy via a
-    callback so that Algorithm 2's per-node LAC limit can stop it early. *)
+    Candidates are enumerated {e nearest-first}: descending logic level,
+    ascending node id within a level.  A divisor close to the target is the
+    one most likely to admit a small resubstitution function, so when a cap
+    truncates the enumeration it is the deep, remote part of the cone that
+    is dropped — never the near divisors.  (The previous implementation
+    truncated [Cone.tfi_nodes]'s ascending-level order, silently discarding
+    exactly the near divisors on any node whose TFI exceeded the cap.)
+    Duplicate sets are suppressed by an int-keyed hash with exact
+    collision resolution, never by polymorphic hashing of arrays. *)
+
+val tfi_candidates : Aig.Graph.t -> max_tfi:int -> int -> int list
+(** TFI nodes of the target (target excluded), nearest-first, at most
+    [max_tfi] of them.  Empty on non-AND targets. *)
 
 val iter_sets :
   Aig.Graph.t ->
@@ -14,8 +22,41 @@ val iter_sets :
   (int array -> [ `Stop | `Continue ]) ->
   unit
 (** [iter_sets g ~max_tfi v f] calls [f] on each divisor set (array of node
-    ids, sorted) until [f] answers [`Stop] or the sets are exhausted.  At
-    most [max_tfi] TFI nodes are considered for the replacement step. *)
+    ids, sorted) until [f] answers [`Stop] or the sets are exhausted.  For a
+    target with fanin set [FI], the sets are: each [FI \ {n}] (drop one
+    fanin), then each [(FI \ {n}) + {u}] for every [u] of
+    {!tfi_candidates} — at most [max_tfi] TFI nodes, nearest-first. *)
 
 val select : Aig.Graph.t -> max_tfi:int -> int -> int array list
 (** Eager version (mainly for tests): all sets in enumeration order. *)
+
+val true_savings :
+  Aig.Graph.t ->
+  in_mffc:(int, unit) Hashtbl.t ->
+  mffc_size:int ->
+  int array ->
+  int
+(** AND nodes of the target's MFFC that actually die when the target is
+    replaced by a function of the divisors: a divisor inside the MFFC keeps
+    itself and its in-MFFC transitive fanin alive.  [in_mffc] maps the
+    MFFC's node ids (from {!Aig.Cone.mffc}), built once per target. *)
+
+val collect :
+  Aig.Graph.t ->
+  ?sigs:Logic.Bitvec.t array ->
+  tfo:bool array ->
+  max:int ->
+  int ->
+  int array
+(** [collect g ~tfo ~max v]: graph-wide divisor candidates for target [v] —
+    every PI or AND node outside the target's TFO cone ([tfo] from
+    {!Aig.Cone.tfo_mask}; the mask includes [v] itself, so the target can
+    never be its own divisor) whose level does not exceed the target's,
+    nearest-first, at most [max] of them.
+
+    With per-node signatures [?sigs] (from {!Sim.Engine.simulate} on the
+    care patterns), divisors that are constant on the sample or whose
+    signature duplicates an already-kept divisor's in either phase are
+    filtered out: on the observed patterns they cannot distinguish any care
+    tuple the kept divisor does not already distinguish.  The kept
+    representative is always the nearest one. *)

@@ -60,6 +60,7 @@ type report = {
   resumed : bool;
   pool : Parallel.Pool.stat array;
   scoring : Errest.Batch.stats;
+  resub : Resub_exact.stats option;
   events : event list;
   certify : certify option;
   policy : policy_report option;
@@ -69,11 +70,11 @@ let log_src = Logs.Src.create "alsrac.flow" ~doc:"ALSRAC flow progress"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let optimize (config : Config.t) g =
+let optimize ?resub (config : Config.t) g =
   match config.resyn with
   | Config.No_resyn -> Graph.compact g
   | Config.Light -> Aig.Resyn.light g
-  | Config.Compress2 -> Aig.Resyn.compress2 g
+  | Config.Compress2 -> Aig.Resyn.compress2 ?resub g
 
 (* Pattern generation honouring the configured input distribution: under an
    enumerated distribution, care patterns are support rows sampled by
@@ -174,6 +175,27 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
   (* Scoring-kernel counters (same per-process policy as the certification
      counters below: observational, not journaled). *)
   let scoring = ref Errest.Batch.zero_stats in
+  (* Exact-resubstitution pass ([Config.exact_resub]): threaded into every
+     [Compress2] invocation as [Aig.Resyn]'s fourth pass.  Exact and
+     self-certifying (every commit is CEC-proven inside [Resub_exact]), so
+     the guard's "error is bit-for-bit unchanged" contract still holds.
+     Deterministic in the config seed alone — a resumed run re-derives the
+     same passes, keeping resume byte-identity.  Counters are per-process,
+     like [scoring]. *)
+  let resub_stats = ref Resub_exact.zero_stats in
+  let resub =
+    if config.exact_resub then
+      Some
+        (fun g ->
+          let g', st =
+            Resub_exact.run ~pool
+              ~config:{ Resub_exact.default with Resub_exact.seed = config.seed }
+              g
+          in
+          resub_stats := Resub_exact.add_stats !resub_stats st;
+          g')
+    else None
+  in
   (* Per-arm policy counters (observational).  The hook's own reward state,
      by contrast, IS journaled — restored here so a resumed run replays the
      uninterrupted run's arm choices exactly. *)
@@ -219,7 +241,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
   in
   (match init with
   | None ->
-      let optimized = optimize config g_start in
+      let optimized = optimize ?resub config g_start in
       certify_exact_step "initial resyn" g_start optimized;
       g := optimized
   | Some _ -> ());
@@ -282,7 +304,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
           incr accepts_since_full;
           if !accepts_since_full >= 10 then begin
             accepts_since_full := 0;
-            Aig.Resyn.compress2 replaced
+            Aig.Resyn.compress2 ?resub replaced
           end
           else Aig.Resyn.light replaced
     in
@@ -641,7 +663,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
     stop_reason := Timed_out;
   (match config.resyn with
   | Config.Compress2 ->
-      let final = Aig.Resyn.compress2 !g in
+      let final = Aig.Resyn.compress2 ?resub !g in
       certify_exact_step "final resyn" !g final;
       if
         Graph.num_ands final < Graph.num_ands !g
@@ -727,6 +749,7 @@ let run_loop ~(config : Config.t) ~pool ~cancel ~journal ~original
       resumed = init <> None;
       pool = Parallel.Pool.stats pool;
       scoring = !scoring;
+      resub = (if config.exact_resub then Some !resub_stats else None);
       events = List.rev !events;
       certify =
         (if config.certify_exact then

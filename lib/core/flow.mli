@@ -143,6 +143,10 @@ type report = {
           exits, frontier nodes recomputed, changed POs/words re-measured.
           Per-process like [certify] — not journaled, so a resumed run
           reports the resumed portion only. *)
+  resub : Resub_exact.stats option;
+      (** cumulative counters of the exact-resubstitution pass, including
+          its own scoring-kernel batch counters; [None] unless
+          [Config.exact_resub].  Per-process like [scoring]. *)
   events : event list;  (** in application order, including pre-resume *)
   certify : certify option;
       (** verification verdicts; [None] unless [Config.certify_exact] *)

@@ -105,6 +105,7 @@ let config_to_string (c : Config.t) =
   kv "guard_tol" (emit_float c.guard_tol);
   kv "confidence" (emit_float c.confidence);
   kv "certify_exact" (string_of_bool c.certify_exact);
+  kv "exact_resub" (string_of_bool c.exact_resub);
   kv "jobs" (string_of_int c.jobs);
   (* The policy is persisted by name only; its (code) hook is re-supplied by
      the resuming caller and its internal state checkpointed per snapshot. *)
@@ -185,6 +186,8 @@ let config_of_string ?policy text =
            | "confidence" -> c := { !c with Config.confidence = parse_float_exn key value }
            | "certify_exact" ->
                c := { !c with Config.certify_exact = parse_bool_exn key value }
+           | "exact_resub" ->
+               c := { !c with Config.exact_resub = parse_bool_exn key value }
            | "jobs" -> c := { !c with Config.jobs = parse_int_exn key value }
            | "policy" -> c := { !c with Config.policy = resolve_policy value }
            | _ -> failwith (Printf.sprintf "journal: unknown config key %S" key));
@@ -327,7 +330,9 @@ let create ~dir ~(config : Config.t) ~original =
      with Sys_error msg -> failwith (Printf.sprintf "journal: cannot create %s: %s" dir msg));
   if not (Sys.is_directory dir) then
     failwith (Printf.sprintf "journal: %s is not a directory" dir);
-  (* A fresh run must not inherit checkpoints from a previous one. *)
+  (* A fresh run must not inherit checkpoints from a previous one — nor the
+     [*.tmp.*] staging debris a killed run may have stranded. *)
+  Circuit_io.Atomic_file.sweep_debris dir;
   List.iter
     (fun f -> if Sys.file_exists f then Sys.remove f)
     [ checkpoint_file dir; checkpoint_prev_file dir ];
@@ -339,6 +344,7 @@ let create ~dir ~(config : Config.t) ~original =
 let reopen dir =
   if not (Sys.file_exists dir && Sys.is_directory dir && Sys.file_exists (manifest_file dir))
   then failwith (Printf.sprintf "journal: %s is not a journal directory" dir);
+  Circuit_io.Atomic_file.sweep_debris dir;
   { dir }
 
 let record t state graph =
@@ -371,6 +377,9 @@ let load_manifest ?policy dir =
 let load ?policy dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     failwith (Printf.sprintf "journal: %s is not a journal directory" dir);
+  (* Same kill-crash debris leak the point stores had: a run killed inside
+     [Atomic_file.write] strands the staged temp next to the checkpoint. *)
+  Circuit_io.Atomic_file.sweep_debris dir;
   let config = load_manifest ?policy dir in
   let original =
     try Circuit_io.Aiger.read (original_file dir)

@@ -8,27 +8,6 @@ type t = {
   gain : int;
 }
 
-(* AND nodes of the target's MFFC that actually die when the target is
-   replaced by a function of [divisors]: a divisor inside the MFFC keeps
-   itself and its in-MFFC transitive fanin alive.  [in_mffc] is the node's
-   membership table, built once per target and shared across its (many)
-   divisor sets. *)
-let true_savings g ~in_mffc ~mffc_size divisors =
-  (* Fast path: divisors outside the MFFC keep nothing alive. *)
-  if Array.for_all (fun d -> not (Hashtbl.mem in_mffc d)) divisors then mffc_size
-  else begin
-    let kept = Hashtbl.create 8 in
-    let rec keep id =
-      if Hashtbl.mem in_mffc id && not (Hashtbl.mem kept id) then begin
-        Hashtbl.replace kept id ();
-        keep (Graph.node_of (Graph.fanin0 g id));
-        keep (Graph.node_of (Graph.fanin1 g id))
-      end
-    in
-    Array.iter keep divisors;
-    mffc_size - Hashtbl.length kept
-  end
-
 (* Derivation (Espresso + factoring) is the expensive step, so first collect
    every feasible divisor set with its cheap savings bound, then derive
    functions only for the most promising few. *)
@@ -48,7 +27,7 @@ let candidates_for ?obs ?pool g ~(config : Config.t) ~sigs ~rounds ~fanouts v =
   let feasible =
     Feasibility.filter ?pool ?mask ~sigs ~node:v ~sets ~rounds ()
     |> List.map (fun (divisors, care) ->
-           (true_savings g ~in_mffc ~mffc_size divisors, divisors, care))
+           (Divisor.true_savings g ~in_mffc ~mffc_size divisors, divisors, care))
   in
   let ranked =
     List.stable_sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1) feasible

@@ -139,17 +139,7 @@ let ensure_dir d =
    the peer's sub-millisecond-old temp file; the peer's rename then
    fails loudly and the sweep stays resumable, so the race degrades to a
    retry, never to corruption. *)
-let remove_debris d =
-  if Sys.file_exists d then
-    Array.iter
-      (fun name ->
-        let rec has_tmp_marker i =
-          i + 5 <= String.length name
-          && (String.sub name i 5 = ".tmp." || has_tmp_marker (i + 1))
-        in
-        if has_tmp_marker 0 then
-          try Sys.remove (Filename.concat d name) with Sys_error _ -> ())
-      (Sys.readdir d)
+let remove_debris = Circuit_io.Atomic_file.sweep_debris
 
 let load_manifest dir =
   let path = manifest_path dir in

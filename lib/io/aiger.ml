@@ -135,10 +135,19 @@ let parse_exn text =
               done;
               (* Symbols (optional). *)
               let pi_names = Array.make i None and po_names = Array.make o None in
+              (* The first comment line doubles as the model name (the writer
+                 emits [c\n<name>]); keep it so a checkpoint round-trip is
+                 byte-identical to the graph it serialized. *)
+              let model_name = ref None in
+              let in_comment = ref false in
               List.iteri
                 (fun _ line ->
                   let line = String.trim line in
-                  if String.length line >= 2 then begin
+                  if !in_comment then begin
+                    if !model_name = None && line <> "" then model_name := Some line
+                  end
+                  else if line = "c" then in_comment := true
+                  else if String.length line >= 2 then begin
                     let kind = line.[0] in
                     match String.index_opt line ' ' with
                     | Some sp when kind = 'i' || kind = 'o' -> (
@@ -151,6 +160,9 @@ let parse_exn text =
                     | _ -> ()
                   end)
                 !take;
+              (match !model_name with
+              | Some n -> Graph.set_name g n
+              | None -> ());
               (* Build: PIs in declaration order, ANDs in file order (AIGER
                  requires definitions before use for aag produced by most
                  tools; we verify as we go). *)

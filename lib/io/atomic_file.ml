@@ -32,3 +32,22 @@ let read path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A process killed between [open_out_bin] and [Sys.rename] strands its
+   temporary file.  Exact-path readers never see the debris, but directory
+   scans do, so stores sweep their directories on (re)open.  The marker test
+   lives here, next to [temp_path], so the two can never drift apart. *)
+let has_tmp_marker name =
+  let rec go i =
+    i + 5 <= String.length name
+    && (String.sub name i 5 = ".tmp." || go (i + 1))
+  in
+  go 0
+
+let sweep_debris dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun name ->
+        if has_tmp_marker name then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir)

@@ -14,3 +14,10 @@ val write : string -> string -> unit
 
 val read : string -> string
 (** Read a whole file into a string.  Raises [Sys_error] if unreadable. *)
+
+val sweep_debris : string -> unit
+(** Remove stranded [*.tmp.*] temporaries (a crash between staging and
+    rename) from one directory, non-recursively.  Every store whose resume
+    path lists its directory calls this on (re)open.  Removal races between
+    concurrent openers degrade to a loud rename failure on the loser's
+    in-flight write, never to corruption; missing directories are ignored. *)

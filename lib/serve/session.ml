@@ -132,6 +132,11 @@ let parse_manifest path =
 
 let load_dir ~state_dir ~name =
   let dir = state_dir // name in
+  (* A daemon killed inside [Atomic_file.write] (manifest, current.aag,
+     inflight, or a flow checkpoint in journal/) strands its staged temp;
+     sweep both levels before trusting the directory's contents. *)
+  Circuit_io.Atomic_file.sweep_debris dir;
+  Circuit_io.Atomic_file.sweep_debris (dir // "journal");
   let circuit, priority, applied_total, budget_s =
     try parse_manifest (manifest_path dir)
     with Sys_error _ | Failure _ ->

@@ -229,7 +229,7 @@ let transform_preserves name f =
 let prop_balance = transform_preserves "balance preserves function" Aig.Balance.run
 let prop_rewrite = transform_preserves "rewrite preserves function" Aig.Rewrite.run
 let prop_refactor = transform_preserves "refactor preserves function" (Aig.Refactor.run ?max_inputs:None)
-let prop_compress2 = transform_preserves "compress2 preserves function" Aig.Resyn.compress2
+let prop_compress2 = transform_preserves "compress2 preserves function" (fun g -> Aig.Resyn.compress2 g)
 
 let prop_compress2_shrinks =
   QCheck.Test.make ~name:"compress2 never grows" ~count:30

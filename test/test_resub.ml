@@ -1,0 +1,358 @@
+(* Exact-resubstitution engine and the divisor/candidate substrate:
+   nearest-first divisor truncation (the PR's headline bugfix), TFO/self
+   exclusion, brute-force equivalence oracles, determinism across pool
+   sizes and kill/resume, and the crash-debris sweeps. *)
+
+module Graph = Aig.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fresh_dir () = Filename.temp_file "alsrac_resub" "" ^ ".d"
+
+(* ---------- Divisor collection (satellite 1) ---------- *)
+
+(* A deep AND chain: PI x0..x{k}, then c1 = x0 & x1, c2 = c1 & x2, ... —
+   every chain node sits at its own level, so nearest-first order is
+   unambiguous. *)
+let chain_graph ~k =
+  let g = Graph.create ~name:"chain" () in
+  let pis = Array.init (k + 1) (fun _ -> Graph.add_pi g) in
+  let chain = Array.make k Graph.const0 in
+  let cur = ref pis.(0) in
+  for i = 1 to k do
+    cur := Graph.and_ g !cur pis.(i);
+    chain.(i - 1) <- !cur
+  done;
+  ignore (Graph.add_po g !cur);
+  (g, Array.map Graph.node_of chain)
+
+let test_tfi_candidates_nearest_first () =
+  let g, chain = chain_graph ~k:10 in
+  let target = chain.(9) in
+  (* The TFI holds 11 PIs + 9 chain nodes = 20 candidates; cap at 5.  The
+     old ascending-level truncation kept 5 PIs and dropped every chain
+     node; nearest-first must keep exactly the 5 highest-level nodes —
+     chain.(8) down to chain.(4). *)
+  let got = Core.Divisor.tfi_candidates g ~max_tfi:5 target in
+  check_int "cap respected" 5 (List.length got);
+  let levels = Graph.levels g in
+  List.iteri
+    (fun i id ->
+      check ("candidate " ^ string_of_int i ^ " is a chain node, not a PI")
+        true
+        (Array.exists (fun c -> c = id) chain);
+      if i > 0 then
+        check "descending level order" true
+          (levels.(List.nth got (i - 1)) >= levels.(id)))
+    got;
+  check "nearest node survives the cap" true
+    (List.mem chain.(8) got);
+  (* Regression pin: under the old truncation the nearest TFI node was the
+     FIRST casualty of the cap.  It must now always be emitted inside some
+     divisor set. *)
+  let seen_near = ref false in
+  Core.Divisor.iter_sets g ~max_tfi:5 target (fun set ->
+      if Array.exists (fun d -> d = chain.(8)) set then seen_near := true;
+      `Continue);
+  check "iter_sets emits a set containing the nearest divisor" true !seen_near
+
+let test_tfi_candidates_uncapped_complete () =
+  let g, chain = chain_graph ~k:6 in
+  let target = chain.(5) in
+  let got = Core.Divisor.tfi_candidates g ~max_tfi:1000 target in
+  (* 7 PIs + 5 interior chain nodes, target excluded. *)
+  check_int "full TFI enumerated" 12 (List.length got);
+  check "target never a candidate" false (List.mem target got)
+
+let test_collect_excludes_tfo_and_target () =
+  let g, chain = chain_graph ~k:8 in
+  (* Pick a mid-chain target: chain.(3).  Its TFO is chain.(4..7) + itself. *)
+  let target = chain.(3) in
+  let tfo = Aig.Cone.tfo_mask g target in
+  let divs = Core.Divisor.collect g ~tfo ~max:100 target in
+  check "collect returns something" true (Array.length divs > 0);
+  Array.iter
+    (fun d ->
+      check "divisor is not the target" true (d <> target);
+      check "divisor is outside the TFO" false tfo.(d))
+    divs;
+  let levels = Graph.levels g in
+  Array.iter
+    (fun d -> check "divisor level <= target level" true (levels.(d) <= levels.(target)))
+    divs
+
+let test_collect_signature_filter () =
+  let g, chain = chain_graph ~k:6 in
+  let target = chain.(5) in
+  let npis = Graph.num_pis g in
+  let rng = Logic.Rng.create 3 in
+  let pats = Sim.Patterns.random rng ~npis ~len:128 in
+  let sigs = Sim.Engine.simulate g pats in
+  let tfo = Aig.Cone.tfo_mask g target in
+  let divs = Core.Divisor.collect g ~sigs ~tfo ~max:100 target in
+  (* No constant signatures survive, and no two kept divisors share a
+     signature in either phase. *)
+  Array.iter
+    (fun d ->
+      check "no constant-signature divisor" false
+        (Logic.Bitvec.is_zero sigs.(d) || Logic.Bitvec.is_ones sigs.(d)))
+    divs;
+  let n = Array.length divs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = sigs.(divs.(i)) and b = sigs.(divs.(j)) in
+      check "no duplicate signature (same phase)" false (Logic.Bitvec.equal a b);
+      check "no duplicate signature (opposite phase)" false
+        (Logic.Bitvec.equal a (Logic.Bitvec.lognot b))
+    done
+  done
+
+let test_care_scan_rejects_self_divisor () =
+  let g, chain = chain_graph ~k:4 in
+  let target = chain.(3) in
+  let rng = Logic.Rng.create 5 in
+  let pats = Sim.Patterns.random rng ~npis:(Graph.num_pis g) ~len:64 in
+  let sigs = Sim.Engine.simulate g pats in
+  Alcotest.check_raises "target as its own divisor is rejected"
+    (Invalid_argument "Care.scan: target node cannot be its own divisor")
+    (fun () ->
+      ignore (Core.Care.scan ~sigs ~node:target ~divisors:[| target |] ~rounds:64 ()))
+
+(* ---------- Exact-resub oracle suite (satellite 4) ---------- *)
+
+let fast_config =
+  { Core.Resub_exact.default with Core.Resub_exact.rounds = 128; cec_rounds = 128 }
+
+let test_oracle_random_circuits () =
+  (* Brute force: every resubstituted circuit must compute the identical
+     truth table (naive exhaustive evaluation over all 2^npis inputs) AND
+     be certified by the CEC portfolio, never grow, and stay structurally
+     sound. *)
+  for seed = 0 to 29 do
+    let g = Verify.Gen.random seed in
+    let g', _ = Core.Resub_exact.run ~config:fast_config g in
+    let name what = Printf.sprintf "seed %d: %s" seed what in
+    check (name "exhaustive truth tables agree") true (Util.equivalent g g');
+    (match Verify.Cec.run ~seed:99 ~effort:Verify.Cec.Thorough g g' with
+    | Verify.Cec.Equivalent -> ()
+    | Verify.Cec.Inequivalent _ -> Alcotest.fail (name "CEC refuted the result")
+    | Verify.Cec.Undecided msg ->
+        Alcotest.fail (name ("CEC undecided: " ^ msg)));
+    check (name "never larger") true
+      (Graph.num_ands g' <= Graph.num_ands (Graph.compact g));
+    match Aig.Check.check g' with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail (name ("structural check: " ^ msg))
+  done
+
+let test_oracle_wide_circuits () =
+  (* Wider circuits (14 PIs — the satellite's ceiling for the exhaustive
+     oracle). *)
+  let profile = { Verify.Gen.default with Verify.Gen.npis = 14; nands = 90 } in
+  for seed = 100 to 107 do
+    let g = Verify.Gen.random ~profile seed in
+    let g', _ = Core.Resub_exact.run ~config:fast_config g in
+    check (Printf.sprintf "seed %d: 14-PI truth tables agree" seed) true
+      (Util.equivalent g g')
+  done
+
+let test_acyclicity_property () =
+  (* Satellite 3: over 200 seeded circuits, every accepted resubstitution
+     leaves the graph acyclic (Replace_expr composition can never smuggle a
+     combinational cycle past the TFO exclusion). *)
+  let cheap =
+    { Core.Resub_exact.default with
+      Core.Resub_exact.rounds = 64; cec_rounds = 64; max_passes = 2 }
+  in
+  Verify.Prop.check_exn ~name:"resub-acyclic" ~seed:1000 ~count:200 (fun g ->
+      let g', _ = Core.Resub_exact.run ~config:cheap g in
+      match Aig.Check.check g' with
+      | Ok () -> Ok ()
+      | Error msg -> Error ("resub output fails Aig.Check: " ^ msg))
+
+let test_jobs_invariance () =
+  (* Bit-identical output with and without a worker pool: the pool only
+     accelerates simulation and batch scoring. *)
+  let g = Circuits.Epfl_control.int2float () in
+  let seq, st_seq = Core.Resub_exact.run g in
+  let par, st_par =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool -> Core.Resub_exact.run ~pool g)
+  in
+  check "AIGER byte-identical at jobs 1 vs 4" true
+    (Circuit_io.Aiger.graph_to_string seq = Circuit_io.Aiger.graph_to_string par);
+  check_int "same accept count" st_seq.Core.Resub_exact.accepted
+    st_par.Core.Resub_exact.accepted
+
+let test_monotone_and_stats () =
+  let g = Graph.compact (Circuits.Epfl_control.cavlc ()) in
+  let g', st = Core.Resub_exact.run g in
+  check "never larger than input" true (Graph.num_ands g' <= Graph.num_ands g);
+  check "stats passes > 0" true (st.Core.Resub_exact.passes > 0);
+  check "accepted candidates were scored through the batch kernel" true
+    (st.Core.Resub_exact.accepted = 0
+    || st.Core.Resub_exact.batch.Errest.Batch.scored > 0)
+
+(* ---------- Flow integration: determinism across jobs and kill/resume ---------- *)
+
+let flow_config =
+  { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.05) with
+    Core.Config.eval_rounds = 2048;
+    max_iters = 12;
+    seed = 7;
+    exact_resub = true }
+
+let flow_circuit () = Circuits.Epfl_control.cavlc ()
+
+let flow_baseline = lazy (Core.Flow.run ~config:flow_config (flow_circuit ()))
+
+let test_flow_exact_resub_reduces () =
+  let a, r = Lazy.force flow_baseline in
+  check "flow with exact_resub shrinks the circuit" true
+    (Graph.num_ands a < r.Core.Flow.input_ands);
+  match r.Core.Flow.resub with
+  | None -> Alcotest.fail "report is missing the resub stats"
+  | Some s -> check "resub pass ran" true (s.Core.Resub_exact.passes > 0)
+
+let test_flow_jobs_invariance () =
+  let a1, _ = Lazy.force flow_baseline in
+  let a4, _ =
+    Core.Flow.run ~config:{ flow_config with Core.Config.jobs = 4 } (flow_circuit ())
+  in
+  check "flow output byte-identical at jobs 1 vs 4" true
+    (Circuit_io.Aiger.graph_to_string a1 = Circuit_io.Aiger.graph_to_string a4)
+
+let no_debris dir =
+  (not (Sys.file_exists dir))
+  || Array.for_all
+       (fun name ->
+         let rec has i =
+           i + 5 <= String.length name
+           && (String.sub name i 5 = ".tmp." || has (i + 1))
+         in
+         not (has 0))
+       (Sys.readdir dir)
+
+let test_flow_kill_resume_identity () =
+  (* kill -9 mid-run (fault injection), then resume: byte-identical to the
+     uninterrupted run, and no atomic-write debris survives the resume. *)
+  let dir = fresh_dir () in
+  let config =
+    { flow_config with Core.Config.fault = [ Core.Fault.Kill_after { applied = 3 } ] }
+  in
+  (match Core.Flow.run ~journal:dir ~config (flow_circuit ()) with
+  | exception Core.Fault.Killed -> ()
+  | _ -> Alcotest.fail "expected the injected kill to fire");
+  (* Simulate interrupted atomic writes left behind by the crash. *)
+  let plant name = close_out (open_out (Filename.concat dir name)) in
+  plant "checkpoint.tmp.4242.7";
+  plant "manifest.tmp.1.1";
+  let a_res, r_res = Core.Flow.resume dir in
+  check "resumed flag set" true r_res.Core.Flow.resumed;
+  let a_ref, _ = Lazy.force flow_baseline in
+  check "kill+resume matches the uninterrupted run byte-for-byte" true
+    (Circuit_io.Aiger.graph_to_string a_ref = Circuit_io.Aiger.graph_to_string a_res);
+  check "journal dir holds no .tmp. debris after resume" true (no_debris dir)
+
+(* ---------- Crash-debris sweeps (satellite 2) ---------- *)
+
+let test_sweep_debris_unit () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let plant name = close_out (open_out (Filename.concat dir name)) in
+  plant "manifest";
+  plant "manifest.tmp.123.4";
+  plant "front.json.tmp.99.0";
+  plant "tmp.not-debris";
+  Circuit_io.Atomic_file.sweep_debris dir;
+  let left = Array.to_list (Sys.readdir dir) |> List.sort compare in
+  Alcotest.(check (list string))
+    "only real files survive" [ "manifest"; "tmp.not-debris" ] left;
+  (* Missing directories are ignored, not an error. *)
+  Circuit_io.Atomic_file.sweep_debris (Filename.concat dir "nonexistent")
+
+let test_journal_create_sweeps_debris () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let plant name = close_out (open_out (Filename.concat dir name)) in
+  plant "checkpoint.tmp.31337.2";
+  let g = Graph.compact (flow_circuit ()) in
+  let config = Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.05 in
+  ignore (Core.Journal.create ~dir ~config ~original:g);
+  check "Journal.create sweeps pre-existing debris" true (no_debris dir)
+
+let test_session_load_sweeps_debris () =
+  let state_dir = fresh_dir () in
+  Unix.mkdir state_dir 0o755;
+  let g = Graph.compact (Circuits.Epfl_control.ctrl ()) in
+  let s =
+    Serve.Session.create ~state_dir ~name:"s1" ~circuit:"ctrl" ~graph:g ~priority:0
+  in
+  let dir = Filename.concat state_dir "s1" in
+  let plant d name =
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    close_out (open_out (Filename.concat d name))
+  in
+  plant dir "current.aag.tmp.777.3";
+  plant (Serve.Session.journal_dir s) "checkpoint.tmp.8.1";
+  let s' = Serve.Session.load_dir ~state_dir ~name:"s1" in
+  ignore s';
+  check "session dir swept on load" true (no_debris dir);
+  check "session journal dir swept on load" true
+    (no_debris (Serve.Session.journal_dir s'))
+
+let test_config_exact_resub_roundtrip () =
+  let c =
+    { (Core.Config.default ~metric:Errest.Metrics.Er ~threshold:0.01) with
+      Core.Config.exact_resub = true }
+  in
+  let c' = Core.Journal.config_of_string (Core.Journal.config_to_string c) in
+  check "exact_resub survives the journal round-trip" true
+    (c' = c && c'.Core.Config.exact_resub)
+
+let () =
+  Alcotest.run "resub"
+    [
+      ( "divisor",
+        [
+          Alcotest.test_case "nearest-first truncation" `Quick
+            test_tfi_candidates_nearest_first;
+          Alcotest.test_case "uncapped enumeration is complete" `Quick
+            test_tfi_candidates_uncapped_complete;
+          Alcotest.test_case "collect excludes TFO and target" `Quick
+            test_collect_excludes_tfo_and_target;
+          Alcotest.test_case "collect signature filter" `Quick
+            test_collect_signature_filter;
+          Alcotest.test_case "care scan rejects self-divisor" `Quick
+            test_care_scan_rejects_self_divisor;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "random circuits: exhaustive + CEC" `Quick
+            test_oracle_random_circuits;
+          Alcotest.test_case "14-PI circuits: exhaustive oracle" `Quick
+            test_oracle_wide_circuits;
+          Alcotest.test_case "acyclic over 200 seeded circuits" `Slow
+            test_acyclicity_property;
+          Alcotest.test_case "jobs 1 vs 4 bit-identity" `Quick test_jobs_invariance;
+          Alcotest.test_case "monotone + stats" `Quick test_monotone_and_stats;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "exact_resub shrinks and reports" `Quick
+            test_flow_exact_resub_reduces;
+          Alcotest.test_case "flow jobs invariance" `Quick test_flow_jobs_invariance;
+          Alcotest.test_case "kill + resume identity, no debris" `Quick
+            test_flow_kill_resume_identity;
+          Alcotest.test_case "config round-trip" `Quick
+            test_config_exact_resub_roundtrip;
+        ] );
+      ( "debris",
+        [
+          Alcotest.test_case "sweep_debris unit" `Quick test_sweep_debris_unit;
+          Alcotest.test_case "journal create sweeps" `Quick
+            test_journal_create_sweeps_debris;
+          Alcotest.test_case "session load sweeps" `Quick
+            test_session_load_sweeps_debris;
+        ] );
+    ]

@@ -116,7 +116,7 @@ let transforms =
     ("rewrite", fun g -> Aig.Rewrite.run g);
     ("refactor", fun g -> Aig.Refactor.run g);
     ("resyn_light", Aig.Resyn.light);
-    ("compress2", Aig.Resyn.compress2);
+    ("compress2", fun g -> Aig.Resyn.compress2 g);
     ("strash_dce", Graph.compact);
     ("fraig", fun g -> Sim.Fraig.run g);
   ]
@@ -155,7 +155,7 @@ let test_transform_suite () =
                | v ->
                    Alcotest.failf "%s under %s: %s" e.Circuits.Suite.name name
                      (Cec.verdict_to_string v))
-             [ ("balance", Aig.Balance.run); ("compress2", Aig.Resyn.compress2) ])
+             [ ("balance", Aig.Balance.run); ("compress2", fun g -> Aig.Resyn.compress2 g) ])
 
 (* ------------------------------------------------------------------ *)
 (* Satellite 2: differential mapping                                   *)
